@@ -1,0 +1,98 @@
+package repro
+
+// One benchmark per table and figure in the paper's evaluation
+// section, plus the §5.x studies and the design-choice ablations.
+// Each benchmark regenerates its artifact end to end at the small
+// scale (go test -bench=. -benchmem); use cmd/jadebench -scale paper
+// for paper-sized runs.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+}
+
+// Tables 1 and 6: serial and stripped execution times.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+
+// Tables 2–5: execution times on DASH.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+
+// Tables 7–10: execution times on the iPSC/860.
+func BenchmarkTable7(b *testing.B)  { benchExperiment(b, "table7") }
+func BenchmarkTable8(b *testing.B)  { benchExperiment(b, "table8") }
+func BenchmarkTable9(b *testing.B)  { benchExperiment(b, "table9") }
+func BenchmarkTable10(b *testing.B) { benchExperiment(b, "table10") }
+
+// Tables 11–14: adaptive broadcast on/off.
+func BenchmarkTable11(b *testing.B) { benchExperiment(b, "table11") }
+func BenchmarkTable12(b *testing.B) { benchExperiment(b, "table12") }
+func BenchmarkTable13(b *testing.B) { benchExperiment(b, "table13") }
+func BenchmarkTable14(b *testing.B) { benchExperiment(b, "table14") }
+
+// Figures 2–5: task locality percentage on DASH.
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// Figures 6–9: total task execution time on DASH.
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// Figures 10–11: task management percentage on DASH.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// Figures 12–15: task locality percentage on the iPSC/860.
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+
+// Figures 16–19: communication to computation ratio on the iPSC/860.
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B) { benchExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B) { benchExperiment(b, "fig19") }
+
+// Figures 20–21: task management percentage on the iPSC/860.
+func BenchmarkFig20(b *testing.B) { benchExperiment(b, "fig20") }
+func BenchmarkFig21(b *testing.B) { benchExperiment(b, "fig21") }
+
+// §5.1 replication, §5.4 latency hiding, §5.5 concurrent fetch.
+func BenchmarkSec51(b *testing.B) { benchExperiment(b, "sec5.1") }
+func BenchmarkSec54(b *testing.B) { benchExperiment(b, "sec5.4") }
+func BenchmarkSec55(b *testing.B) { benchExperiment(b, "sec5.5") }
+
+// Design-choice ablations (DESIGN.md §6).
+func BenchmarkAblationSteal(b *testing.B)          { benchExperiment(b, "ablation-steal") }
+func BenchmarkAblationLocalityPolicy(b *testing.B) { benchExperiment(b, "ablation-locality-policy") }
+func BenchmarkAblationSticky(b *testing.B)         { benchExperiment(b, "ablation-sticky") }
+
+func BenchmarkAblationOrdering(b *testing.B) { benchExperiment(b, "ablation-ordering") }
+func BenchmarkExtensionUpdate(b *testing.B)  { benchExperiment(b, "extension-update") }
+
+func BenchmarkExtensionPortability(b *testing.B) { benchExperiment(b, "extension-portability") }
+
+func BenchmarkAblationPanels(b *testing.B) { benchExperiment(b, "ablation-panels") }
+func BenchmarkUtilization(b *testing.B)    { benchExperiment(b, "utilization") }

@@ -1,0 +1,67 @@
+// Command jadebench regenerates the paper's tables and figures on the
+// simulated machines.
+//
+// Usage:
+//
+//	jadebench -list
+//	jadebench -experiment table4 [-scale small|paper]
+//	jadebench -experiment all [-scale small|paper] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		expID    = flag.String("experiment", "all", "experiment ID (see -list) or \"all\"")
+		scaleStr = flag.String("scale", "small", "workload scale: small or paper")
+		markdown = flag.Bool("markdown", false, "emit markdown tables instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			e, _ := experiments.Get(id)
+			fmt.Printf("%-26s %s\n", id, e.Title)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleStr {
+	case "small":
+		scale = experiments.Small
+	case "paper":
+		scale = experiments.PaperScale
+	default:
+		fmt.Fprintf(os.Stderr, "jadebench: unknown scale %q (want small or paper)\n", *scaleStr)
+		os.Exit(2)
+	}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
+			os.Exit(2)
+		}
+		var sb strings.Builder
+		if *markdown {
+			res.Markdown(&sb)
+		} else {
+			res.Render(&sb)
+			sb.WriteString("\n")
+		}
+		fmt.Print(sb.String())
+	}
+}

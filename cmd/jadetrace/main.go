@@ -1,0 +1,108 @@
+// Command jadetrace runs one application on a simulated machine with
+// event tracing enabled and prints the event log and a per-processor
+// Gantt chart — a visual view of what the schedulers and the
+// communicator actually did.
+//
+// Usage:
+//
+//	jadetrace -app ocean -machine ipsc -procs 4 [-level locality] [-log]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps/cholesky"
+	"repro/internal/apps/ocean"
+	"repro/internal/apps/tomo"
+	"repro/internal/apps/water"
+	"repro/internal/check"
+	"repro/internal/dash"
+	"repro/internal/ipsc"
+	"repro/internal/jade"
+	"repro/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "ocean", "application: water, string, ocean, cholesky")
+	machine := flag.String("machine", "ipsc", "machine: dash or ipsc")
+	procs := flag.Int("procs", 4, "simulated processors")
+	level := flag.String("level", "locality", "locality level: none, locality, placement")
+	logEvents := flag.Bool("log", false, "print the raw event log too")
+	width := flag.Int("width", 96, "gantt width in columns")
+	verify := flag.Bool("verify", true, "validate the recorded schedule (conflicting tasks ordered, non-overlapping)")
+	flag.Parse()
+
+	tr := trace.New()
+	var rt *jade.Runtime
+	place := *level == "placement"
+	switch *machine {
+	case "dash":
+		lv := dash.Locality
+		switch *level {
+		case "none":
+			lv = dash.NoLocality
+		case "placement":
+			lv = dash.TaskPlacement
+		}
+		m := dash.New(dash.DefaultConfig(*procs, lv))
+		m.Trace = tr
+		rt = jade.New(m, jade.Config{})
+	case "ipsc":
+		lv := ipsc.Locality
+		switch *level {
+		case "none":
+			lv = ipsc.NoLocality
+		case "placement":
+			lv = ipsc.TaskPlacement
+		}
+		m := ipsc.New(ipsc.DefaultConfig(*procs, lv))
+		m.Trace = tr
+		rt = jade.New(m, jade.Config{})
+	default:
+		fmt.Fprintf(os.Stderr, "jadetrace: unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+
+	switch *app {
+	case "water":
+		cfg := water.Small()
+		cfg.Molecules = 96
+		cfg.Iterations = 1
+		water.Run(rt, cfg)
+	case "string":
+		cfg := tomo.Small()
+		cfg.Rays = 64
+		cfg.Iterations = 1
+		tomo.Run(rt, cfg)
+	case "ocean":
+		cfg := ocean.Small()
+		cfg.Iterations = 4
+		cfg.Place = place
+		ocean.Run(rt, cfg)
+	case "cholesky":
+		cfg := cholesky.Small()
+		cfg.Place = place
+		cholesky.Run(rt, cfg, cholesky.NewWorkload(cfg))
+	default:
+		fmt.Fprintf(os.Stderr, "jadetrace: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+	res := rt.Finish()
+
+	if *logEvents {
+		tr.WriteLog(os.Stdout)
+		fmt.Println()
+	}
+	tr.Gantt(os.Stdout, *width)
+	fmt.Printf("\n%d events, %d tasks, exec %.6fs, locality %.1f%%\n",
+		tr.Len(), res.TaskCount, res.ExecTime, res.LocalityPct())
+	if *verify {
+		if err := check.Validate(tr, rt.Tasks()); err != nil {
+			fmt.Fprintf(os.Stderr, "jadetrace: SCHEDULE INVALID: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("schedule validated: conflicting tasks ordered and non-overlapping")
+	}
+}

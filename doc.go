@@ -1,0 +1,13 @@
+// Package repro reproduces "Communication Optimizations for Parallel
+// Computing Using Data Access Information" (Martin C. Rinard, SC'95)
+// as a Go library: a Jade-style implicitly parallel runtime
+// (internal/jade), discrete-event models of the Stanford DASH and
+// Intel iPSC/860 machines (internal/dash, internal/ipsc), a native
+// goroutine platform (internal/native), the paper's four applications
+// (internal/apps/...), and an experiment harness (internal/experiments,
+// cmd/jadebench) that regenerates every table and figure in the
+// paper's evaluation section.
+//
+// The root package exists to host the repository-level benchmarks in
+// bench_test.go; see README.md for the tour.
+package repro

@@ -1,0 +1,74 @@
+// Cholesky example: factor a sparse SPD stiffness matrix with the
+// paper's Panel Cholesky task decomposition on the native goroutine
+// platform, then solve a linear system with the factor and report the
+// residual. The internal/external update tasks and their access
+// declarations are exactly the ones the experiments use.
+//
+// Run with: go run ./examples/cholesky [-grid 10] [-panel 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"runtime"
+
+	"repro/internal/apps/cholesky"
+	"repro/internal/jade"
+	"repro/internal/native"
+	"repro/internal/sparse"
+)
+
+func main() {
+	grid := flag.Int("grid", 10, "stiffness grid dimension (n = grid^3)")
+	panel := flag.Int("panel", 16, "panel width in columns")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines")
+	flag.Parse()
+
+	cfg := cholesky.Config{NX: *grid, NY: *grid, NZ: *grid,
+		PanelWidth: *panel, FlopCostSec: 280e-9}
+	w := cholesky.NewWorkload(cfg)
+	fmt.Printf("matrix: n=%d, nnz(A)=%d, nnz(L)=%d, %d panels, %d tasks\n",
+		w.A.N, w.A.NNZ(), w.Sym.NNZL(), w.Sym.NumPanels(), cholesky.TaskCount(w))
+
+	machine := native.New(*workers)
+	defer machine.Close()
+	rt := jade.New(machine, jade.Config{})
+	out := cholesky.Run(rt, cfg, w)
+	res := rt.Finish()
+	fmt.Printf("factorized on %d workers in %.1f ms (diag sum %.6g)\n",
+		res.Procs, res.ExecTime*1e3, out.DiagSum)
+
+	if serial := cholesky.RunSerial(w); serial == out {
+		fmt.Println("parallel factor is bit-identical to the serial factorization")
+	} else {
+		fmt.Println("WARNING: parallel factor diverged from serial factorization")
+	}
+
+	// Solve A·x = b for b = A·ones and report the residual. The solve
+	// needs the numeric factor, so rebuild it serially (Run consumed
+	// its own copy internally).
+	f := sparse.NewFactor(w.A, w.Sym)
+	if err := f.FactorSerial(); err != nil {
+		panic(err)
+	}
+	n := w.A.N
+	b := make([]float64, n)
+	for j := 0; j < n; j++ {
+		rows, vals := w.A.Col(j)
+		for k, i := range rows {
+			b[i] += vals[k]
+			if i != j {
+				b[j] += vals[k]
+			}
+		}
+	}
+	x := f.Solve(b)
+	worst := 0.0
+	for _, xi := range x {
+		if d := math.Abs(xi - 1); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("solve residual: max |x_i - 1| = %.3g\n", worst)
+}

@@ -1,0 +1,59 @@
+// Machines example: the same Jade program executed on the two
+// simulated 1995 machines — the DASH shared-memory model and the
+// iPSC/860 message-passing model — printing the communication metrics
+// side by side. This is the paper's central point made runnable: one
+// portable program, two machines, machine-specific communication
+// optimizations applied automatically by the implementation.
+//
+// Run with: go run ./examples/machines [-procs 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/apps/tomo"
+	"repro/internal/dash"
+	"repro/internal/ipsc"
+	"repro/internal/jade"
+	"repro/internal/metrics"
+)
+
+func main() {
+	procs := flag.Int("procs", 16, "simulated processors")
+	flag.Parse()
+
+	cfg := tomo.Small()
+
+	runDash := func() *metrics.Run {
+		m := dash.New(dash.DefaultConfig(*procs, dash.Locality))
+		rt := jade.New(m, jade.Config{})
+		tomo.Run(rt, cfg)
+		return rt.Finish()
+	}
+	runIpsc := func(broadcast bool) *metrics.Run {
+		c := ipsc.DefaultConfig(*procs, ipsc.Locality)
+		c.AdaptiveBroadcast = broadcast
+		m := ipsc.New(c)
+		rt := jade.New(m, jade.Config{})
+		tomo.Run(rt, cfg)
+		return rt.Finish()
+	}
+
+	d := runDash()
+	i := runIpsc(true)
+	inb := runIpsc(false)
+
+	fmt.Printf("String (cross-well tomography) on %d simulated processors\n\n", *procs)
+	fmt.Printf("%-34s %12s %12s\n", "", "DASH", "iPSC/860")
+	fmt.Printf("%-34s %12.4f %12.4f\n", "execution time (s)", d.ExecTime, i.ExecTime)
+	fmt.Printf("%-34s %11.1f%% %11.1f%%\n", "tasks on target processor", d.LocalityPct(), i.LocalityPct())
+	fmt.Printf("%-34s %12.4f %12.4f\n", "task execution time (s)", d.TaskExecTotal, i.TaskExecTotal)
+	fmt.Printf("%-34s %12s %12d\n", "object messages", "n/a", i.MsgCount)
+	fmt.Printf("%-34s %12s %12d\n", "object bytes moved", "n/a", i.MsgBytes)
+	fmt.Printf("%-34s %12d %12d\n", "remote bytes (cache model)", d.RemoteBytes, int64(0))
+	fmt.Printf("%-34s %12s %12d\n", "adaptive broadcasts", "n/a", i.BroadcastCount)
+	fmt.Printf("\nadaptive broadcast off on the iPSC/860: %.4f s (vs %.4f s on)\n",
+		inb.ExecTime, i.ExecTime)
+	fmt.Println("\nThe program text is identical on both machines; only the platform differs.")
+}

@@ -1,0 +1,79 @@
+// Quickstart: a minimal Jade program.
+//
+// The program sums a large vector in blocks. Each block task declares
+// that it reads its block and read-writes its partial-sum cell; a
+// final task declares it reads every partial and writes the total.
+// The runtime extracts the parallelism from those declarations alone:
+// the block tasks run concurrently on the native goroutine platform,
+// and the final sum waits for all of them.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/jade"
+	"repro/internal/native"
+)
+
+func main() {
+	const n = 1 << 22
+	const blocks = 64
+
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i%1000) / 1000
+	}
+
+	machine := native.New(runtime.NumCPU())
+	defer machine.Close()
+	rt := jade.New(machine, jade.Config{})
+
+	// Shared objects: the vector blocks and one partial sum per block.
+	blockObjs := make([]*jade.Object, blocks)
+	partObjs := make([]*jade.Object, blocks)
+	partials := make([]float64, blocks)
+	for b := 0; b < blocks; b++ {
+		lo, hi := b*n/blocks, (b+1)*n/blocks
+		blockObjs[b] = rt.Alloc(fmt.Sprintf("block%d", b), (hi-lo)*8, data[lo:hi])
+		partObjs[b] = rt.Alloc(fmt.Sprintf("partial%d", b), 8, &partials[b])
+	}
+	totalObj := rt.Alloc("total", 8, new(float64))
+
+	// One task per block: withonly { rd(block); wr(partial) } do ...
+	for b := 0; b < blocks; b++ {
+		b := b
+		lo, hi := b*n/blocks, (b+1)*n/blocks
+		rt.WithOnly(func(s *jade.Spec) {
+			s.Rd(blockObjs[b])
+			s.Wr(partObjs[b])
+		}, 0, func() {
+			sum := 0.0
+			for _, v := range data[lo:hi] {
+				sum += v
+			}
+			partials[b] = sum
+		})
+	}
+
+	// The reduction task reads every partial; the runtime runs it only
+	// after all block tasks complete.
+	total := totalObj.Data.(*float64)
+	rt.WithOnly(func(s *jade.Spec) {
+		for b := 0; b < blocks; b++ {
+			s.Rd(partObjs[b])
+		}
+		s.Wr(totalObj)
+	}, 0, func() {
+		for _, p := range partials {
+			*total += p
+		}
+	})
+
+	res := rt.Finish()
+	fmt.Printf("sum of %d elements over %d tasks on %d workers: %.1f\n",
+		n, res.TaskCount, res.Procs, *total)
+	fmt.Printf("wall time: %.1f ms\n", res.ExecTime*1e3)
+}

@@ -1,0 +1,287 @@
+// Package ocean implements the paper's Ocean application: an
+// iterative five-point-stencil solver for the discretized spatial
+// partial differential equations at the core of an eddy/boundary-
+// current simulation. Following §4, the grid is decomposed into
+// interior column blocks separated by two-column boundary blocks; at
+// every iteration one task per interior block updates the block and
+// one column of each adjacent boundary block. The interior block is
+// the task's locality object. Adjacent tasks conflict on the shared
+// boundary blocks, which serializes neighbors and pipelines the
+// iterations — exactly the dependence structure the object
+// granularity implies.
+package ocean
+
+import (
+	"math"
+
+	"repro/internal/jade"
+)
+
+// Config sizes the Ocean workload.
+type Config struct {
+	// N is the square grid dimension (192 in the paper).
+	N int
+	// Iterations is the relaxation sweep count.
+	Iterations int
+	// Blocks is the number of interior blocks; the paper adjusts it
+	// to the machine size. Zero means "processors − 1, minimum 1".
+	Blocks int
+	// Place explicitly maps blocks round-robin over processors
+	// 1..P−1, omitting the main processor (the paper's Task Placement
+	// version).
+	Place bool
+
+	// OpCostSec is the modeled reference cost per stencil point.
+	OpCostSec float64
+}
+
+// Small is a CI-friendly configuration.
+func Small() Config {
+	return Config{N: 96, Iterations: 30, OpCostSec: 9e-6}
+}
+
+// Paper is the paper-scale configuration: a 192×192 grid.
+func Paper() Config {
+	c := Small()
+	c.N = 192
+	c.Iterations = 300
+	return c
+}
+
+// Grid holds the simulation state as column vectors (grid[x][z]) so
+// column blocks are contiguous.
+type Grid struct {
+	N    int
+	Cols [][]float64
+}
+
+// Output summarizes a run for equivalence checking.
+type Output struct {
+	Sum      float64
+	Residual float64
+}
+
+// layout describes the block decomposition: interior blocks separated
+// by two-column boundary blocks, with the outermost columns fixed
+// boundary conditions.
+type layout struct {
+	n        int
+	nb       int
+	intStart []int // first column of each interior block
+	intEnd   []int // one past last column
+	// boundary block b sits at columns [bStart[b], bStart[b]+2),
+	// between interior blocks b and b+1.
+	bStart []int
+}
+
+// newLayout splits the interior columns [1, n-1) into nb interior
+// blocks with 2-column boundary blocks between them.
+func newLayout(n, nb int) layout {
+	usable := n - 2 - 2*(nb-1)
+	if nb < 1 || usable < nb {
+		panic("ocean: grid too small for the requested block count")
+	}
+	l := layout{n: n, nb: nb}
+	col := 1
+	for b := 0; b < nb; b++ {
+		w := usable / nb
+		if b < usable%nb {
+			w++
+		}
+		l.intStart = append(l.intStart, col)
+		col += w
+		l.intEnd = append(l.intEnd, col)
+		if b < nb-1 {
+			l.bStart = append(l.bStart, col)
+			col += 2
+		}
+	}
+	if col != n-1 {
+		panic("ocean: layout accounting error")
+	}
+	return l
+}
+
+// NewGrid builds the deterministic initial state: a hot spot plus
+// fixed boundary values.
+func NewGrid(n int) *Grid {
+	g := &Grid{N: n, Cols: make([][]float64, n)}
+	for x := range g.Cols {
+		g.Cols[x] = make([]float64, n)
+		for z := 0; z < n; z++ {
+			g.Cols[x][z] = math.Sin(float64(x)*0.3) * math.Cos(float64(z)*0.2)
+		}
+	}
+	return g
+}
+
+// relaxColumn applies one Jacobi-style relaxation to column x rows
+// [1, n-1) reading the current neighbor values in place (Gauss–Seidel
+// ordering within the sweep, which is deterministic for a fixed
+// column order).
+func relaxColumn(g *Grid, x int) {
+	col := g.Cols[x]
+	left, right := g.Cols[x-1], g.Cols[x+1]
+	for z := 1; z < g.N-1; z++ {
+		col[z] = 0.25 * (left[z] + right[z] + col[z-1] + col[z+1])
+	}
+}
+
+// updateBlock is the per-task body: relax every column of interior
+// block b, plus the adjacent column of each neighboring boundary
+// block (the paper's "one column of elements in each of the border
+// blocks").
+func updateBlock(g *Grid, l layout, b int) {
+	if b > 0 {
+		relaxColumn(g, l.bStart[b-1]+1) // right column of left boundary block
+	}
+	for x := l.intStart[b]; x < l.intEnd[b]; x++ {
+		relaxColumn(g, x)
+	}
+	if b < l.nb-1 {
+		relaxColumn(g, l.bStart[b]) // left column of right boundary block
+	}
+}
+
+func (g *Grid) output() Output {
+	var o Output
+	for x := 1; x < g.N-1; x++ {
+		for z := 1; z < g.N-1; z++ {
+			o.Sum += g.Cols[x][z]
+			r := g.Cols[x][z] - 0.25*(g.Cols[x-1][z]+g.Cols[x+1][z]+g.Cols[x][z-1]+g.Cols[x][z+1])
+			o.Residual += r * r
+		}
+	}
+	if math.IsNaN(o.Sum) {
+		panic("ocean: diverged")
+	}
+	return o
+}
+
+// blocksFor resolves the block count for a machine size.
+func blocksFor(cfg Config, procs int) int {
+	if cfg.Blocks > 0 {
+		return cfg.Blocks
+	}
+	nb := procs - 1
+	if nb < 1 {
+		nb = 1
+	}
+	// A block needs at least one column and each gap two: nb ≤ N/3.
+	if max := cfg.N / 3; nb > max {
+		nb = max
+	}
+	return nb
+}
+
+// taskWork models one block task's stencil cost.
+func taskWork(cfg Config, l layout, b int) float64 {
+	cols := l.intEnd[b] - l.intStart[b]
+	if b > 0 {
+		cols++
+	}
+	if b < l.nb-1 {
+		cols++
+	}
+	return float64(cols*(cfg.N-2)) * cfg.OpCostSec
+}
+
+// Run executes the Jade version of Ocean. All iterations' tasks are
+// created up front (the dependence structure through the boundary
+// blocks pipelines them correctly); the caller finishes the runtime.
+func Run(rt *jade.Runtime, cfg Config) Output {
+	p := rt.Processors()
+	nb := blocksFor(cfg, p)
+	l := newLayout(cfg.N, nb)
+	g := NewGrid(cfg.N)
+
+	colBytes := cfg.N * 8
+	interior := make([]*jade.Object, nb)
+	boundary := make([]*jade.Object, nb-1)
+	// The Task Placement version maps blocks round-robin omitting the
+	// busy main processor (§5.2); the plain Locality version inherits
+	// the allocator's default round-robin over every memory module,
+	// which is exactly what lets the load balancer displace tasks
+	// whose home is the task-creating main processor.
+	procOf := func(b int) int {
+		if p == 1 {
+			return 0
+		}
+		if cfg.Place {
+			return 1 + b%(p-1)
+		}
+		return b % p
+	}
+	for b := 0; b < nb; b++ {
+		w := l.intEnd[b] - l.intStart[b]
+		interior[b] = rt.Alloc("interior", w*colBytes, nil, jade.OnProcessor(procOf(b)))
+	}
+	for b := 0; b < nb-1; b++ {
+		boundary[b] = rt.Alloc("boundary", 2*colBytes, nil, jade.OnProcessor(procOf(b)))
+	}
+
+	// Initialization phase (untimed, like the paper's omitted initial
+	// I/O): one task per block establishes ownership on the machines
+	// where the last writer owns the data.
+	for b := 0; b < nb; b++ {
+		var opts []jade.TaskOpt
+		if cfg.Place {
+			opts = append(opts, jade.PlaceOn(procOf(b)))
+		}
+		lo := b
+		rt.WithOnly(func(s *jade.Spec) {
+			s.Wr(interior[lo])
+			if lo < nb-1 {
+				s.Wr(boundary[lo])
+			}
+		}, float64(cfg.N)*cfg.OpCostSec, func() {}, opts...)
+	}
+	rt.ResetMetrics()
+
+	for it := 0; it < cfg.Iterations; it++ {
+		for b := 0; b < nb; b++ {
+			b := b
+			var opts []jade.TaskOpt
+			if cfg.Place {
+				opts = append(opts, jade.PlaceOn(procOf(b)))
+			}
+			rt.WithOnly(func(s *jade.Spec) {
+				s.RdWr(interior[b]) // locality object: the interior block
+				if b > 0 {
+					s.RdWr(boundary[b-1])
+				}
+				if b < nb-1 {
+					s.RdWr(boundary[b])
+				}
+			}, taskWork(cfg, l, b), func() { updateBlock(g, l, b) }, opts...)
+		}
+	}
+	rt.Wait()
+	return g.output()
+}
+
+// RunSerialEquivalent runs the Jade decomposition for the same block
+// count serially, for bitwise equivalence checks. Note the parallel
+// schedule is serial-equivalent because conflicting tasks (neighbors
+// sharing a boundary block) execute in creation order.
+func RunSerialEquivalent(cfg Config, procs int) Output {
+	nb := blocksFor(cfg, procs)
+	l := newLayout(cfg.N, nb)
+	g := NewGrid(cfg.N)
+	for it := 0; it < cfg.Iterations; it++ {
+		for b := 0; b < nb; b++ {
+			updateBlock(g, l, b)
+		}
+	}
+	return g.output()
+}
+
+// SerialWorkSec models the original serial program: a plain full-grid
+// sweep per iteration.
+func SerialWorkSec(cfg Config) float64 {
+	return float64(cfg.Iterations) * float64((cfg.N-2)*(cfg.N-2)) * cfg.OpCostSec
+}
+
+// StrippedWorkSec models the stripped Jade version; the decomposition
+// does not change the arithmetic, so it matches the serial sweep.
+func StrippedWorkSec(cfg Config) float64 { return SerialWorkSec(cfg) }

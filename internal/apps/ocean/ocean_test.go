@@ -1,0 +1,209 @@
+package ocean
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dash"
+	"repro/internal/ipsc"
+	"repro/internal/jade"
+	"repro/internal/native"
+)
+
+func tiny() Config {
+	c := Small()
+	c.N = 32
+	c.Iterations = 8
+	return c
+}
+
+func TestLayoutCoversInterior(t *testing.T) {
+	l := newLayout(64, 5)
+	covered := make([]int, 64)
+	for b := 0; b < l.nb; b++ {
+		for x := l.intStart[b]; x < l.intEnd[b]; x++ {
+			covered[x]++
+		}
+	}
+	for _, s := range l.bStart {
+		covered[s]++
+		covered[s+1]++
+	}
+	for x := 1; x < 63; x++ {
+		if covered[x] != 1 {
+			t.Fatalf("column %d covered %d times", x, covered[x])
+		}
+	}
+	if covered[0] != 0 || covered[63] != 0 {
+		t.Fatal("fixed boundary columns must not be in any block")
+	}
+}
+
+func TestLayoutPanicsWhenTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for impossible layout")
+		}
+	}()
+	newLayout(8, 5)
+}
+
+func TestRelaxationConverges(t *testing.T) {
+	cfg := tiny()
+	cfg.Iterations = 2
+	few := RunSerialEquivalent(cfg, 4)
+	cfg.Iterations = 50
+	many := RunSerialEquivalent(cfg, 4)
+	if !(many.Residual < few.Residual) {
+		t.Fatalf("residual did not decrease: %g → %g", few.Residual, many.Residual)
+	}
+}
+
+func TestPlatformsMatchSerial(t *testing.T) {
+	cfg := tiny()
+	for _, procs := range []int{1, 2, 4, 6} {
+		want := RunSerialEquivalent(cfg, procs)
+
+		md := dash.New(dash.DefaultConfig(procs, dash.Locality))
+		rtd := jade.New(md, jade.Config{})
+		if got := Run(rtd, cfg); got != want {
+			t.Fatalf("dash procs=%d: %+v != %+v", procs, got, want)
+		}
+		rtd.Finish()
+
+		mi := ipsc.New(ipsc.DefaultConfig(procs, ipsc.Locality))
+		rti := jade.New(mi, jade.Config{})
+		if got := Run(rti, cfg); got != want {
+			t.Fatalf("ipsc procs=%d: %+v != %+v", procs, got, want)
+		}
+		rti.Finish()
+
+		mn := native.New(procs)
+		rtn := jade.New(mn, jade.Config{})
+		if got := Run(rtn, cfg); got != want {
+			t.Fatalf("native procs=%d: %+v != %+v", procs, got, want)
+		}
+		rtn.Finish()
+		mn.Close()
+	}
+}
+
+func TestPlacementMatchesSerialAndIsLocal(t *testing.T) {
+	cfg := tiny()
+	cfg.Place = true
+	want := RunSerialEquivalent(cfg, 4)
+	m := dash.New(dash.DefaultConfig(4, dash.TaskPlacement))
+	rt := jade.New(m, jade.Config{})
+	got := Run(rt, cfg)
+	res := rt.Finish()
+	if got != want {
+		t.Fatalf("placement run diverged: %+v != %+v", got, want)
+	}
+	if res.LocalityPct() != 100 {
+		t.Fatalf("placement locality = %.1f%%, want 100%% (Figure 4)", res.LocalityPct())
+	}
+}
+
+func TestNeighborDependencePipelines(t *testing.T) {
+	// With nb blocks, tasks of iteration i+1 for block b must wait for
+	// iteration i of neighbors — verify no result change under a
+	// NoLocality scramble.
+	cfg := tiny()
+	m := dash.New(dash.DefaultConfig(8, dash.NoLocality))
+	rt := jade.New(m, jade.Config{})
+	got := Run(rt, cfg)
+	rt.Finish()
+	if got != RunSerialEquivalent(cfg, 8) {
+		t.Fatal("NoLocality schedule changed the stencil result")
+	}
+}
+
+func TestWorkModels(t *testing.T) {
+	cfg := Paper()
+	serial := SerialWorkSec(cfg)
+	// Table 1: Ocean serial on DASH is 102.99 s (within ~2×).
+	if serial < 50 || serial > 210 {
+		t.Fatalf("paper-scale modeled serial time %v s, want ≈103 s", serial)
+	}
+	if StrippedWorkSec(cfg) != serial {
+		t.Fatal("ocean stripped model should equal serial")
+	}
+}
+
+func TestTaskWorkAccountsBoundaryColumns(t *testing.T) {
+	cfg := tiny()
+	l := newLayout(cfg.N, 4)
+	inner := taskWork(cfg, l, 1) // has two boundary neighbors
+	edge := taskWork(cfg, l, 0)  // one boundary neighbor
+	if !(inner > 0 && edge > 0) {
+		t.Fatal("nonpositive work")
+	}
+	wInner := l.intEnd[1] - l.intStart[1] + 2
+	wEdge := l.intEnd[0] - l.intStart[0] + 1
+	if inner/edge != float64(wInner)/float64(wEdge) {
+		t.Fatalf("work ratio %v, want %v", inner/edge, float64(wInner)/float64(wEdge))
+	}
+}
+
+func TestBoundaryColumnsNeverMoveWalls(t *testing.T) {
+	// Columns 0 and N-1 are fixed boundary conditions: no task may
+	// write them.
+	cfg := tiny()
+	g := NewGrid(cfg.N)
+	wall0 := append([]float64(nil), g.Cols[0]...)
+	wallN := append([]float64(nil), g.Cols[cfg.N-1]...)
+	out := RunSerialEquivalent(cfg, 4)
+	_ = out
+	g2 := NewGrid(cfg.N)
+	l := newLayout(cfg.N, blocksFor(cfg, 4))
+	for it := 0; it < cfg.Iterations; it++ {
+		for b := 0; b < l.nb; b++ {
+			updateBlock(g2, l, b)
+		}
+	}
+	for z := 0; z < cfg.N; z++ {
+		if g2.Cols[0][z] != wall0[z] || g2.Cols[cfg.N-1][z] != wallN[z] {
+			t.Fatal("boundary condition columns were modified")
+		}
+	}
+}
+
+func TestBlocksForClamps(t *testing.T) {
+	cfg := tiny() // N=32
+	if nb := blocksFor(cfg, 33); nb > cfg.N/3 {
+		t.Fatalf("blocksFor did not clamp: %d", nb)
+	}
+	if nb := blocksFor(cfg, 1); nb != 1 {
+		t.Fatalf("blocksFor(1 proc) = %d, want 1", nb)
+	}
+	cfg.Blocks = 5
+	if nb := blocksFor(cfg, 33); nb != 5 {
+		t.Fatalf("explicit Blocks not honored: %d", nb)
+	}
+}
+
+func TestClusterPlatformMatchesSerial(t *testing.T) {
+	cfg := tiny()
+	m := cluster.New(cluster.DefaultConfig(3))
+	rt := jade.New(m, jade.Config{})
+	got := Run(rt, cfg)
+	rt.Finish()
+	if want := RunSerialEquivalent(cfg, 3); got != want {
+		t.Fatalf("cluster %+v != serial %+v", got, want)
+	}
+}
+
+func TestWorkFreeOceanRuns(t *testing.T) {
+	m := dash.New(dash.DefaultConfig(4, dash.TaskPlacement))
+	cfg := tiny()
+	cfg.Place = true
+	rt := jade.New(m, jade.Config{WorkFree: true})
+	Run(rt, cfg)
+	res := rt.Finish()
+	if res.TaskExecTotal != 0 {
+		t.Fatal("work-free run executed application code")
+	}
+	if res.ExecTime <= 0 {
+		t.Fatal("work-free run took no time")
+	}
+}

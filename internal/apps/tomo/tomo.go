@@ -1,0 +1,335 @@
+// Package tomo implements the paper's String application: cross-well
+// seismic tomography that computes a velocity model of the geology
+// between two oil wells. Each iteration traces rays through a
+// discretized velocity model, backprojects the travel-time residual
+// linearly along each ray path into an explicitly replicated
+// difference array, reduces the replicas in parallel, and updates the
+// model in a serial phase (§4). The paper's data set discretizes a
+// 185×450-foot image at 1-foot resolution; the workload here
+// synthesizes the geology.
+package tomo
+
+import (
+	"math"
+
+	"repro/internal/jade"
+)
+
+// Config sizes the String workload.
+type Config struct {
+	// NX and NZ are the velocity-model grid dimensions (185×450 in
+	// the paper's West Texas data set).
+	NX, NZ int
+	// Rays is the number of source–receiver ray paths per parallel
+	// phase.
+	Rays int
+	// Iterations is the number of phases (6 in the paper).
+	Iterations int
+
+	// CellCostSec is the modeled reference cost per cell crossing
+	// during tracing+backprojection; ElemCostSec per array element in
+	// reductions and model updates.
+	CellCostSec float64
+	ElemCostSec float64
+}
+
+// Small is a CI-friendly configuration.
+func Small() Config {
+	return Config{NX: 32, NZ: 72, Rays: 256, Iterations: 2,
+		CellCostSec: 120e-6, ElemCostSec: 0.5e-6}
+}
+
+// Paper is the paper-scale configuration: a 185×450 grid at 1-foot
+// resolution, six iterations.
+func Paper() Config {
+	c := Small()
+	c.NX, c.NZ = 185, 450
+	c.Rays = 75000
+	c.Iterations = 6
+	return c
+}
+
+// Model is the shared velocity model (stored as slowness so travel
+// time is a line integral) plus the synthetic observations.
+type Model struct {
+	NX, NZ   int
+	Slowness []float64 // nx*nz
+	Observed []float64 // per ray
+}
+
+// Diff is one replica of the backprojected difference array.
+type Diff struct {
+	D []float64 // nx*nz
+	W []float64 // accumulated path weight per cell
+}
+
+// Output summarizes a run for equivalence checking.
+type Output struct {
+	ModelSum float64
+	Residual float64
+}
+
+func (m *Model) at(x, z int) int { return z*m.NX + x }
+
+// trueSlowness is the hidden geology used to synthesize observations:
+// a smooth background with a fast dipping layer.
+func trueSlowness(nx, nz, x, z int) float64 {
+	s := 1.0 + 0.1*math.Sin(6*float64(x)/float64(nx))
+	if d := float64(z) - 0.4*float64(nz) - 0.3*float64(x); d > 0 && d < float64(nz)/8 {
+		s = 0.7
+	}
+	return s
+}
+
+// rayEndpoints returns the source (x=0) and receiver (x=nx-1) depths
+// of ray r, spread deterministically over the two wells.
+func rayEndpoints(nx, nz, rays, r int) (z0, z1 float64) {
+	srcN := int(math.Sqrt(float64(rays)))
+	if srcN < 1 {
+		srcN = 1
+	}
+	recN := (rays + srcN - 1) / srcN
+	si := r / recN
+	ri := r % recN
+	z0 = (float64(si) + 0.5) * float64(nz) / float64(srcN)
+	z1 = (float64(ri) + 0.5) * float64(nz) / float64(recN)
+	if z0 >= float64(nz) {
+		z0 = float64(nz) - 0.5
+	}
+	if z1 >= float64(nz) {
+		z1 = float64(nz) - 0.5
+	}
+	return z0, z1
+}
+
+// traceRay integrates the slowness along the straight ray path and
+// returns the travel time plus the list of (cell, segment length)
+// crossings. The crossing pattern depends only on geometry.
+func traceRay(m *Model, r, rays int) (time float64, cells []int, segs []float64) {
+	cells = make([]int, m.NX*2)
+	segs = make([]float64, m.NX*2)
+	time = traceRayInto(m, r, rays, cells, segs)
+	return time, cells, segs
+}
+
+// traceRayInto is the allocation-free tracing kernel: cells and segs
+// must have length NX*2 (two samples per column, a simple regular
+// quadrature).
+func traceRayInto(m *Model, r, rays int, cells []int, segs []float64) (time float64) {
+	z0, z1 := rayEndpoints(m.NX, m.NZ, rays, r)
+	steps := m.NX * 2
+	dx := float64(m.NX-1) / float64(steps)
+	dz := (z1 - z0) / float64(steps)
+	segLen := math.Hypot(dx, dz)
+	for s := 0; s < steps; s++ {
+		x := dx * (float64(s) + 0.5)
+		z := z0 + dz*(float64(s)+0.5)
+		xi, zi := int(x), int(z)
+		if xi >= m.NX {
+			xi = m.NX - 1
+		}
+		if zi >= m.NZ {
+			zi = m.NZ - 1
+		}
+		if zi < 0 {
+			zi = 0
+		}
+		c := m.at(xi, zi)
+		time += m.Slowness[c] * segLen
+		cells[s] = c
+		segs[s] = segLen
+	}
+	return time
+}
+
+// NewModel builds the starting model (uniform slowness) and the
+// synthetic observed travel times from the hidden geology.
+func NewModel(cfg Config) *Model {
+	m := &Model{NX: cfg.NX, NZ: cfg.NZ,
+		Slowness: make([]float64, cfg.NX*cfg.NZ),
+		Observed: make([]float64, cfg.Rays)}
+	truth := &Model{NX: cfg.NX, NZ: cfg.NZ, Slowness: make([]float64, cfg.NX*cfg.NZ)}
+	for z := 0; z < cfg.NZ; z++ {
+		for x := 0; x < cfg.NX; x++ {
+			m.Slowness[m.at(x, z)] = 1.0
+			truth.Slowness[m.at(x, z)] = trueSlowness(cfg.NX, cfg.NZ, x, z)
+		}
+	}
+	cells := make([]int, cfg.NX*2)
+	segs := make([]float64, cfg.NX*2)
+	for r := 0; r < cfg.Rays; r++ {
+		m.Observed[r] = traceRayInto(truth, r, cfg.Rays, cells, segs)
+	}
+	return m
+}
+
+// tracePhase traces slice i's rays and backprojects residuals into
+// the replica.
+func tracePhase(m *Model, d *Diff, rays, p, i int) {
+	for k := range d.D {
+		d.D[k] = 0
+		d.W[k] = 0
+	}
+	cells := make([]int, m.NX*2)
+	segs := make([]float64, m.NX*2)
+	for r := i; r < rays; r += p {
+		t := traceRayInto(m, r, rays, cells, segs)
+		resid := m.Observed[r] - t
+		pathLen := 0.0
+		for _, s := range segs {
+			pathLen += s
+		}
+		for k, c := range cells {
+			d.D[c] += resid * segs[k] / pathLen
+			d.W[c] += segs[k]
+		}
+	}
+}
+
+// reduceInto merges one replica into another (a tree-reduction step).
+func reduceInto(dst, src *Diff) {
+	for k := range dst.D {
+		dst.D[k] += src.D[k]
+		dst.W[k] += src.W[k]
+	}
+}
+
+// updateModel is the serial phase: apply the comprehensive difference
+// array to the velocity model (SIRT-style relaxation).
+func updateModel(m *Model, d *Diff) {
+	const lambda = 0.8
+	for k := range m.Slowness {
+		if d.W[k] > 0 {
+			m.Slowness[k] += lambda * d.D[k] / d.W[k]
+		}
+	}
+}
+
+// sliceRays counts the rays traced by slice i of p.
+func sliceRays(rays, p, i int) int {
+	c := 0
+	for r := i; r < rays; r += p {
+		c++
+	}
+	return c
+}
+
+func (m *Model) output(cfg Config) Output {
+	var o Output
+	for _, s := range m.Slowness {
+		o.ModelSum += s
+	}
+	cells := make([]int, m.NX*2)
+	segs := make([]float64, m.NX*2)
+	for r := 0; r < cfg.Rays; r++ {
+		t := traceRayInto(m, r, cfg.Rays, cells, segs)
+		res := m.Observed[r] - t
+		o.Residual += res * res
+	}
+	if math.IsNaN(o.ModelSum) {
+		panic("tomo: model diverged")
+	}
+	return o
+}
+
+// ModelBytes is the shared velocity-model object size (the paper's
+// updated object is 383,528 bytes for the 185×450 grid).
+func ModelBytes(cfg Config) int { return cfg.NX*cfg.NZ*4 + 128 }
+
+// Run executes the Jade version of String. The caller finishes the
+// runtime to collect metrics.
+func Run(rt *jade.Runtime, cfg Config) Output {
+	p := rt.Processors()
+	m := NewModel(cfg)
+	cells := cfg.NX * cfg.NZ
+
+	modelObj := rt.Alloc("model", ModelBytes(cfg), m)
+	diffs := make([]*jade.Object, p)
+	diffData := make([]*Diff, p)
+	for i := 0; i < p; i++ {
+		diffData[i] = &Diff{D: make([]float64, cells), W: make([]float64, cells)}
+		diffs[i] = rt.Alloc("diff", cells*16, diffData[i], jade.OnProcessor(i))
+	}
+
+	// Initialization phase (untimed, like the paper's omitted initial
+	// I/O): one task per replica establishes ownership of the
+	// replicated difference arrays.
+	for i := 1; i <= p; i++ {
+		idx := i % p
+		d := diffData[idx]
+		rt.WithOnly(func(s *jade.Spec) { s.Wr(diffs[idx]) }, float64(cells)*cfg.ElemCostSec, func() {
+			for k := range d.D {
+				d.D[k] = 0
+				d.W[k] = 0
+			}
+		})
+	}
+	rt.ResetMetrics()
+
+	cellsPerRay := cfg.NX * 2
+	for it := 0; it < cfg.Iterations; it++ {
+		for i := 1; i <= p; i++ {
+			idx := i % p
+			d := diffData[idx]
+			work := float64(sliceRays(cfg.Rays, p, idx)*cellsPerRay)*cfg.CellCostSec +
+				float64(cells)*2*cfg.ElemCostSec
+			rt.WithOnly(func(s *jade.Spec) {
+				s.RdWr(diffs[idx]) // locality object: the replica it updates
+				s.Rd(modelObj)
+			}, work, func() { tracePhase(m, d, cfg.Rays, p, idx) })
+		}
+		rt.Wait()
+		for step := 1; step < p; step *= 2 {
+			for i := 0; i+step < p; i += 2 * step {
+				dst, src := diffData[i], diffData[i+step]
+				di, si := diffs[i], diffs[i+step]
+				rt.WithOnly(func(s *jade.Spec) {
+					s.RdWr(di)
+					s.Rd(si)
+				}, float64(cells)*2*cfg.ElemCostSec, func() { reduceInto(dst, src) })
+			}
+			rt.Wait()
+		}
+		rt.Serial(float64(cells)*cfg.ElemCostSec, func() { updateModel(m, diffData[0]) },
+			func(s *jade.Spec) { s.Rd(diffs[0]); s.Wr(modelObj) })
+	}
+	return m.output(cfg)
+}
+
+// RunSerialEquivalent runs the Jade decomposition for p processors
+// without a runtime, for bitwise equivalence checks.
+func RunSerialEquivalent(cfg Config, p int) Output {
+	m := NewModel(cfg)
+	cells := cfg.NX * cfg.NZ
+	diffs := make([]*Diff, p)
+	for i := range diffs {
+		diffs[i] = &Diff{D: make([]float64, cells), W: make([]float64, cells)}
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		for i := 0; i < p; i++ {
+			tracePhase(m, diffs[i], cfg.Rays, p, i)
+		}
+		for step := 1; step < p; step *= 2 {
+			for i := 0; i+step < p; i += 2 * step {
+				reduceInto(diffs[i], diffs[i+step])
+			}
+		}
+		updateModel(m, diffs[0])
+	}
+	return m.output(cfg)
+}
+
+// SerialWorkSec models the original serial program (single difference
+// array, no replication) on the reference processor.
+func SerialWorkSec(cfg Config) float64 {
+	cells := float64(cfg.NX * cfg.NZ)
+	perIter := float64(cfg.Rays*cfg.NX*2)*cfg.CellCostSec + cells*cfg.ElemCostSec
+	return float64(cfg.Iterations) * perIter
+}
+
+// StrippedWorkSec models the stripped Jade version (replica zeroing
+// included).
+func StrippedWorkSec(cfg Config) float64 {
+	cells := float64(cfg.NX * cfg.NZ)
+	return SerialWorkSec(cfg) + float64(cfg.Iterations)*cells*2*cfg.ElemCostSec
+}

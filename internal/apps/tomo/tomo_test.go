@@ -1,0 +1,184 @@
+package tomo
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dash"
+	"repro/internal/ipsc"
+	"repro/internal/jade"
+	"repro/internal/native"
+)
+
+func tiny() Config {
+	c := Small()
+	c.NX, c.NZ = 16, 24
+	c.Rays = 64
+	c.Iterations = 2
+	return c
+}
+
+func TestInversionReducesResidual(t *testing.T) {
+	cfg := tiny()
+	cfg.Iterations = 1
+	one := RunSerialEquivalent(cfg, 1)
+	cfg.Iterations = 6
+	six := RunSerialEquivalent(cfg, 1)
+	if !(six.Residual < one.Residual) {
+		t.Fatalf("residual did not decrease: 1 iter %g, 6 iters %g", one.Residual, six.Residual)
+	}
+}
+
+func TestPlatformsMatchSerial(t *testing.T) {
+	cfg := tiny()
+	for _, procs := range []int{1, 2, 4} {
+		want := RunSerialEquivalent(cfg, procs)
+
+		md := dash.New(dash.DefaultConfig(procs, dash.Locality))
+		rtd := jade.New(md, jade.Config{})
+		if got := Run(rtd, cfg); got != want {
+			t.Fatalf("dash procs=%d: %+v != %+v", procs, got, want)
+		}
+		rtd.Finish()
+
+		mi := ipsc.New(ipsc.DefaultConfig(procs, ipsc.Locality))
+		rti := jade.New(mi, jade.Config{})
+		if got := Run(rti, cfg); got != want {
+			t.Fatalf("ipsc procs=%d: %+v != %+v", procs, got, want)
+		}
+		rti.Finish()
+
+		mn := native.New(procs)
+		rtn := jade.New(mn, jade.Config{})
+		if got := Run(rtn, cfg); got != want {
+			t.Fatalf("native procs=%d: %+v != %+v", procs, got, want)
+		}
+		rtn.Finish()
+		mn.Close()
+	}
+}
+
+func TestFullLocalityOnDash(t *testing.T) {
+	m := dash.New(dash.DefaultConfig(4, dash.Locality))
+	rt := jade.New(m, jade.Config{})
+	Run(rt, tiny())
+	res := rt.Finish()
+	if res.LocalityPct() != 100 {
+		t.Fatalf("locality = %.1f%%, want 100%% (Figure 3)", res.LocalityPct())
+	}
+}
+
+func TestRayEndpointsInRange(t *testing.T) {
+	cfg := tiny()
+	for r := 0; r < cfg.Rays; r++ {
+		z0, z1 := rayEndpoints(cfg.NX, cfg.NZ, cfg.Rays, r)
+		if z0 < 0 || z0 >= float64(cfg.NZ) || z1 < 0 || z1 >= float64(cfg.NZ) {
+			t.Fatalf("ray %d endpoints out of range: %g %g", r, z0, z1)
+		}
+	}
+}
+
+func TestTraceRayCoversPath(t *testing.T) {
+	m := NewModel(tiny())
+	time, cells, segs := traceRay(m, 3, tiny().Rays)
+	if time <= 0 {
+		t.Fatal("nonpositive travel time")
+	}
+	if len(cells) != len(segs) || len(cells) == 0 {
+		t.Fatal("mismatched crossing lists")
+	}
+	for _, c := range cells {
+		if c < 0 || c >= m.NX*m.NZ {
+			t.Fatalf("cell %d out of range", c)
+		}
+	}
+}
+
+func TestSliceRaysPartition(t *testing.T) {
+	total := 0
+	for i := 0; i < 7; i++ {
+		total += sliceRays(100, 7, i)
+	}
+	if total != 100 {
+		t.Fatalf("slices cover %d rays, want 100", total)
+	}
+}
+
+func TestModelBytesMatchesPaperScale(t *testing.T) {
+	// The paper's updated object is 383,528 bytes for the 185×450
+	// grid; our 4-byte-per-cell model object should be within 15%.
+	b := ModelBytes(Paper())
+	if b < 320000 || b > 450000 {
+		t.Fatalf("paper-scale model object = %d bytes, want ≈383528", b)
+	}
+}
+
+func TestWorkModels(t *testing.T) {
+	cfg := Paper()
+	serial := SerialWorkSec(cfg)
+	// Table 1: String serial on DASH is 20594 s (within ~2×).
+	if serial < 10000 || serial > 42000 {
+		t.Fatalf("paper-scale modeled serial time %v s, want ≈20594 s", serial)
+	}
+	if StrippedWorkSec(cfg) <= serial {
+		t.Fatal("stripped model should include replication overhead")
+	}
+}
+
+func TestBackprojectionConservesResidual(t *testing.T) {
+	// The backprojected weight along one ray equals the residual: sum
+	// over cells of resid·seg/pathLen = resid.
+	cfg := tiny()
+	m := NewModel(cfg)
+	d := &Diff{D: make([]float64, cfg.NX*cfg.NZ), W: make([]float64, cfg.NX*cfg.NZ)}
+	tracePhase(m, d, 1, 1, 0) // exactly ray 0
+	time, _, _ := traceRay(m, 0, 1)
+	resid := m.Observed[0] - time
+	var got float64
+	for _, v := range d.D {
+		got += v
+	}
+	if diff := got - resid; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("backprojection sums to %g, want residual %g", got, resid)
+	}
+}
+
+func TestObservedTimesPositive(t *testing.T) {
+	cfg := tiny()
+	m := NewModel(cfg)
+	for r, obs := range m.Observed {
+		if obs <= 0 {
+			t.Fatalf("observed time of ray %d = %g", r, obs)
+		}
+	}
+}
+
+func TestTrueSlownessHasFastLayer(t *testing.T) {
+	// The synthetic geology must actually contain the anomaly the
+	// inversion recovers.
+	fast, slow := 0, 0
+	cfg := tiny()
+	for z := 0; z < cfg.NZ; z++ {
+		for x := 0; x < cfg.NX; x++ {
+			if trueSlowness(cfg.NX, cfg.NZ, x, z) == 0.7 {
+				fast++
+			} else {
+				slow++
+			}
+		}
+	}
+	if fast == 0 || slow == 0 {
+		t.Fatalf("degenerate geology: %d fast, %d slow cells", fast, slow)
+	}
+}
+
+func TestClusterPlatformMatchesSerial(t *testing.T) {
+	cfg := tiny()
+	m := cluster.New(cluster.DefaultConfig(4))
+	rt := jade.New(m, jade.Config{})
+	got := Run(rt, cfg)
+	rt.Finish()
+	if want := RunSerialEquivalent(cfg, 4); got != want {
+		t.Fatalf("cluster %+v != serial %+v", got, want)
+	}
+}

@@ -1,0 +1,331 @@
+// Package water implements the paper's Water application: an O(n²)
+// molecular dynamics code that evaluates forces and potentials in a
+// system of water molecules in the liquid state. Each iteration runs
+// two parallel phases; each parallel phase reads the molecule state
+// array and accumulates into an explicitly replicated contribution
+// array (one copy per processor), followed by a parallel tree
+// reduction and a serial phase that updates the molecule state — the
+// structure described in §4 of the paper.
+package water
+
+import (
+	"math"
+
+	"repro/internal/jade"
+)
+
+// Config sizes the Water workload.
+type Config struct {
+	// Molecules is the molecule count (1728 in the paper's data set).
+	Molecules int
+	// Iterations is the number of timesteps (8 in the paper), each
+	// with two parallel phases.
+	Iterations int
+	// Seed makes the initial placement deterministic.
+	Seed int64
+
+	// Modeled reference-processor costs: seconds per interaction
+	// pair, per replicated-array element in reductions/zeroing, and
+	// per molecule in the serial integration. Calibrated so the
+	// paper-scale data set lands near Table 1's serial time.
+	PairCostSec      float64
+	ElemCostSec      float64
+	IntegrateCostSec float64
+}
+
+// Small is a CI-friendly configuration.
+func Small() Config {
+	return Config{Molecules: 192, Iterations: 2, Seed: 1,
+		PairCostSec: 300e-6, ElemCostSec: 0.4e-6, IntegrateCostSec: 8e-6}
+}
+
+// Paper is the paper's data set: 1728 molecules, 8 iterations.
+func Paper() Config {
+	c := Small()
+	c.Molecules = 1728
+	c.Iterations = 8
+	return c
+}
+
+// Bytes per molecule in the state object (position + velocity + two
+// auxiliary triples = 12 float64s = 96 bytes, matching the paper's
+// 165,888-byte object for 1728 molecules).
+const stateBytesPerMolecule = 96
+
+// State is the shared molecule state.
+type State struct {
+	Pos [][3]float64
+	Vel [][3]float64
+}
+
+// Contrib is one replica of the contribution (force) array.
+type Contrib struct {
+	F [][3]float64
+}
+
+// Output summarizes a run for equivalence checking.
+type Output struct {
+	PosSum, VelSum float64
+}
+
+// newState builds the deterministic initial configuration: molecules
+// placed pseudo-randomly in a unit box with small velocities.
+func newState(cfg Config) *State {
+	st := &State{
+		Pos: make([][3]float64, cfg.Molecules),
+		Vel: make([][3]float64, cfg.Molecules),
+	}
+	x := uint64(cfg.Seed)*2862933555777941757 + 3037000493
+	next := func() float64 {
+		x = x*2862933555777941757 + 3037000493
+		return float64(x>>11) / float64(1<<53)
+	}
+	for i := range st.Pos {
+		for d := 0; d < 3; d++ {
+			st.Pos[i][d] = next()
+			st.Vel[i][d] = (next() - 0.5) * 1e-3
+		}
+	}
+	return st
+}
+
+// pairForce is the simplified intermolecular interaction: a smoothed
+// Lennard-Jones-style central force, clamped at short range so the
+// dynamics stay finite.
+func pairForce(a, b [3]float64) [3]float64 {
+	var d [3]float64
+	r2 := 1e-2
+	for k := 0; k < 3; k++ {
+		d[k] = a[k] - b[k]
+		r2 += d[k] * d[k]
+	}
+	inv := 1 / r2
+	inv3 := inv * inv * inv
+	mag := inv3*inv - 0.5*inv3
+	if mag > 10 {
+		mag = 10
+	}
+	for k := 0; k < 3; k++ {
+		d[k] *= mag * 1e-6
+	}
+	return d
+}
+
+// sliceMolecules returns the molecules owned by task slice i of p.
+func sliceMolecules(n, p, i int) []int {
+	var ms []int
+	for a := i; a < n; a += p {
+		ms = append(ms, a)
+	}
+	return ms
+}
+
+// slicePairs counts the interaction pairs computed by slice i of p.
+func slicePairs(n, p, i int) int {
+	total := 0
+	for a := i; a < n; a += p {
+		total += n - 1 - a
+	}
+	return total
+}
+
+// forcePhase computes slice i's contribution for the pair phase:
+// zero the replica, then accumulate forces for pairs (a,b), b>a.
+func forcePhase(st *State, c *Contrib, n, p, i int) {
+	for k := range c.F {
+		c.F[k] = [3]float64{}
+	}
+	for _, a := range sliceMolecules(n, p, i) {
+		for b := a + 1; b < n; b++ {
+			f := pairForce(st.Pos[a], st.Pos[b])
+			for k := 0; k < 3; k++ {
+				c.F[a][k] += f[k]
+				c.F[b][k] -= f[k]
+			}
+		}
+	}
+}
+
+// localPhase is the second parallel phase of each iteration: a
+// per-molecule correction that also reads the state and accumulates
+// into the replica.
+func localPhase(st *State, c *Contrib, n, p, i int) {
+	for k := range c.F {
+		c.F[k] = [3]float64{}
+	}
+	for _, a := range sliceMolecules(n, p, i) {
+		for k := 0; k < 3; k++ {
+			x := st.Pos[a][k] - 0.5
+			c.F[a][k] = -x * 1e-5
+		}
+	}
+}
+
+// reduceInto adds src into dst (one tree-reduction step).
+func reduceInto(dst, src *Contrib) {
+	for k := range dst.F {
+		for d := 0; d < 3; d++ {
+			dst.F[k][d] += src.F[k][d]
+		}
+	}
+}
+
+// integrate is the serial phase: apply the comprehensive contribution
+// array to the state.
+func integrate(st *State, c *Contrib) {
+	const dt = 1.0
+	for a := range st.Pos {
+		for k := 0; k < 3; k++ {
+			st.Vel[a][k] += c.F[a][k] * dt
+			st.Pos[a][k] += st.Vel[a][k] * dt
+			// Reflect off the box walls.
+			if st.Pos[a][k] < 0 {
+				st.Pos[a][k] = -st.Pos[a][k]
+				st.Vel[a][k] = -st.Vel[a][k]
+			}
+			if st.Pos[a][k] > 1 {
+				st.Pos[a][k] = 2 - st.Pos[a][k]
+				st.Vel[a][k] = -st.Vel[a][k]
+			}
+		}
+	}
+}
+
+func (st *State) output() Output {
+	var o Output
+	for i := range st.Pos {
+		for k := 0; k < 3; k++ {
+			o.PosSum += st.Pos[i][k]
+			o.VelSum += st.Vel[i][k]
+		}
+	}
+	if math.IsNaN(o.PosSum) || math.IsNaN(o.VelSum) {
+		panic("water: dynamics diverged")
+	}
+	return o
+}
+
+// Run executes the Jade version of Water on the runtime's platform.
+// The caller finishes the runtime to collect metrics.
+func Run(rt *jade.Runtime, cfg Config) Output {
+	n := cfg.Molecules
+	p := rt.Processors()
+	st := newState(cfg)
+
+	stateObj := rt.Alloc("state", n*stateBytesPerMolecule, st)
+	contribs := make([]*jade.Object, p)
+	contribData := make([]*Contrib, p)
+	for i := 0; i < p; i++ {
+		contribData[i] = &Contrib{F: make([][3]float64, n)}
+		contribs[i] = rt.Alloc("contrib", n*24, contribData[i], jade.OnProcessor(i))
+	}
+
+	elemWork := func() float64 { return float64(n) * 3 * cfg.ElemCostSec }
+
+	// Initialization phase: one task per replica establishes ownership
+	// of the replicated arrays (on message-passing machines) before
+	// the timed computation. The paper's performance numbers omit the
+	// initial I/O and computation phase (§4).
+	for i := 1; i <= p; i++ {
+		idx := i % p
+		c := contribData[idx]
+		rt.WithOnly(func(s *jade.Spec) { s.Wr(contribs[idx]) }, elemWork(), func() {
+			for k := range c.F {
+				c.F[k] = [3]float64{}
+			}
+		})
+	}
+	rt.ResetMetrics()
+
+	parallelPhase := func(phase func(*State, *Contrib, int, int, int), work func(i int) float64) {
+		// One task per processor; the replica it writes is its
+		// locality object, so main's replica is created last to give
+		// the busy main processor's task the longest creation slack.
+		for i := 1; i <= p; i++ {
+			idx := i % p
+			c := contribData[idx]
+			rt.WithOnly(func(s *jade.Spec) {
+				s.RdWr(contribs[idx]) // locality object: the replica it writes
+				s.Rd(stateObj)
+			}, work(idx), func() { phase(st, c, n, p, idx) })
+		}
+		rt.Wait()
+		// Parallel tree reduction of the replicated arrays.
+		for step := 1; step < p; step *= 2 {
+			for i := 0; i+step < p; i += 2 * step {
+				dst, src := i, i+step
+				d, s2 := contribData[dst], contribData[src]
+				rt.WithOnly(func(s *jade.Spec) {
+					s.RdWr(contribs[dst])
+					s.Rd(contribs[src])
+				}, elemWork(), func() { reduceInto(d, s2) })
+			}
+			rt.Wait()
+		}
+	}
+
+	for it := 0; it < cfg.Iterations; it++ {
+		parallelPhase(forcePhase, func(i int) float64 {
+			return float64(slicePairs(n, p, i))*cfg.PairCostSec + float64(n)*3*cfg.ElemCostSec
+		})
+		rt.Serial(float64(n)*cfg.IntegrateCostSec, func() { integrate(st, contribData[0]) },
+			func(s *jade.Spec) { s.Rd(contribs[0]); s.Wr(stateObj) })
+
+		parallelPhase(localPhase, func(i int) float64 {
+			return float64(len(sliceMolecules(n, p, i)))*3*cfg.ElemCostSec + float64(n)*3*cfg.ElemCostSec
+		})
+		rt.Serial(float64(n)*cfg.IntegrateCostSec, func() { integrate(st, contribData[0]) },
+			func(s *jade.Spec) { s.Rd(contribs[0]); s.Wr(stateObj) })
+	}
+	return st.output()
+}
+
+// RunSerialEquivalent runs, without any runtime, exactly the Jade
+// decomposition for p processors — used to check serial equivalence
+// of platform schedules bit-for-bit.
+func RunSerialEquivalent(cfg Config, p int) Output {
+	n := cfg.Molecules
+	st := newState(cfg)
+	contribs := make([]*Contrib, p)
+	for i := range contribs {
+		contribs[i] = &Contrib{F: make([][3]float64, n)}
+	}
+	phase := func(f func(*State, *Contrib, int, int, int)) {
+		for i := 0; i < p; i++ {
+			f(st, contribs[i], n, p, i)
+		}
+		for step := 1; step < p; step *= 2 {
+			for i := 0; i+step < p; i += 2 * step {
+				reduceInto(contribs[i], contribs[i+step])
+			}
+		}
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		phase(forcePhase)
+		integrate(st, contribs[0])
+		phase(localPhase)
+		integrate(st, contribs[0])
+	}
+	return st.output()
+}
+
+// SerialWorkSec models the original (pre-Jade) serial program's time
+// on the reference processor: forces computed directly into a single
+// array, no replication or reduction (Table 1's "serial" row).
+func SerialWorkSec(cfg Config) float64 {
+	n := float64(cfg.Molecules)
+	pairs := n * (n - 1) / 2
+	perIter := pairs*cfg.PairCostSec + // pair phase
+		n*3*cfg.ElemCostSec + // local phase
+		2*n*cfg.IntegrateCostSec // two serial updates
+	return float64(cfg.Iterations) * perIter
+}
+
+// StrippedWorkSec models the Jade version with the constructs stripped
+// (still replicating into one contribution array and reducing): the
+// Table 1 "stripped" row.
+func StrippedWorkSec(cfg Config) float64 {
+	n := float64(cfg.Molecules)
+	// Zeroing + reduction of the single replica adds element traffic.
+	return SerialWorkSec(cfg) + float64(cfg.Iterations)*2*(n*3*cfg.ElemCostSec)
+}

@@ -1,0 +1,206 @@
+package water
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dash"
+	"repro/internal/ipsc"
+	"repro/internal/jade"
+	"repro/internal/native"
+)
+
+func tiny() Config {
+	c := Small()
+	c.Molecules = 48
+	c.Iterations = 2
+	return c
+}
+
+func TestSerialEquivalentDeterministic(t *testing.T) {
+	a := RunSerialEquivalent(tiny(), 4)
+	b := RunSerialEquivalent(tiny(), 4)
+	if a != b {
+		t.Fatalf("nondeterministic serial run: %+v vs %+v", a, b)
+	}
+}
+
+func TestDashMatchesSerial(t *testing.T) {
+	for _, procs := range []int{1, 2, 4} {
+		m := dash.New(dash.DefaultConfig(procs, dash.Locality))
+		rt := jade.New(m, jade.Config{})
+		got := Run(rt, tiny())
+		rt.Finish()
+		want := RunSerialEquivalent(tiny(), procs)
+		if got != want {
+			t.Fatalf("procs=%d: dash %+v != serial %+v", procs, got, want)
+		}
+	}
+}
+
+func TestIpscMatchesSerial(t *testing.T) {
+	for _, procs := range []int{1, 3, 4} {
+		m := ipsc.New(ipsc.DefaultConfig(procs, ipsc.Locality))
+		rt := jade.New(m, jade.Config{})
+		got := Run(rt, tiny())
+		rt.Finish()
+		want := RunSerialEquivalent(tiny(), procs)
+		if got != want {
+			t.Fatalf("procs=%d: ipsc %+v != serial %+v", procs, got, want)
+		}
+	}
+}
+
+func TestNativeMatchesSerial(t *testing.T) {
+	for _, procs := range []int{2, 4} {
+		m := native.New(procs)
+		rt := jade.New(m, jade.Config{})
+		got := Run(rt, tiny())
+		rt.Finish()
+		m.Close()
+		want := RunSerialEquivalent(tiny(), procs)
+		if got != want {
+			t.Fatalf("procs=%d: native %+v != serial %+v", procs, got, want)
+		}
+	}
+}
+
+func TestNoLocalityStillCorrect(t *testing.T) {
+	m := dash.New(dash.DefaultConfig(4, dash.NoLocality))
+	rt := jade.New(m, jade.Config{})
+	got := Run(rt, tiny())
+	rt.Finish()
+	if got != RunSerialEquivalent(tiny(), 4) {
+		t.Fatal("NoLocality schedule changed the result")
+	}
+}
+
+func TestFullLocalityOnDash(t *testing.T) {
+	// Water's one-task-per-replica structure should give 100% task
+	// locality at the Locality level (Figure 2).
+	m := dash.New(dash.DefaultConfig(4, dash.Locality))
+	rt := jade.New(m, jade.Config{})
+	Run(rt, tiny())
+	res := rt.Finish()
+	if res.LocalityPct() != 100 {
+		t.Fatalf("locality = %.1f%%, want 100%%", res.LocalityPct())
+	}
+}
+
+func TestSlicePairsSumsToAllPairs(t *testing.T) {
+	n, p := 97, 5
+	total := 0
+	for i := 0; i < p; i++ {
+		total += slicePairs(n, p, i)
+	}
+	if want := n * (n - 1) / 2; total != want {
+		t.Fatalf("pairs total %d, want %d", total, want)
+	}
+}
+
+func TestWorkModels(t *testing.T) {
+	cfg := Paper()
+	serial := SerialWorkSec(cfg)
+	// Table 1: Water serial on DASH is 3628 s; the model should land
+	// in the right regime (within 2×).
+	if serial < 1800 || serial > 7200 {
+		t.Fatalf("paper-scale modeled serial time %v s, want ≈3628 s", serial)
+	}
+	if StrippedWorkSec(cfg) <= serial {
+		t.Fatal("stripped model should include replication overhead")
+	}
+}
+
+func TestEnergyStaysFinite(t *testing.T) {
+	cfg := tiny()
+	cfg.Iterations = 6
+	out := RunSerialEquivalent(cfg, 1)
+	if out.PosSum == 0 && out.VelSum == 0 {
+		t.Fatal("suspicious all-zero output")
+	}
+}
+
+func TestPairForceAntisymmetric(t *testing.T) {
+	a := [3]float64{0.2, 0.3, 0.4}
+	b := [3]float64{0.7, 0.1, 0.9}
+	fab := pairForce(a, b)
+	fba := pairForce(b, a)
+	for k := 0; k < 3; k++ {
+		if fab[k] != -fba[k] {
+			t.Fatalf("force not antisymmetric in component %d: %v vs %v", k, fab, fba)
+		}
+	}
+}
+
+func TestPairForceFiniteAtContact(t *testing.T) {
+	a := [3]float64{0.5, 0.5, 0.5}
+	f := pairForce(a, a) // zero separation: the clamp must keep it finite
+	for k := 0; k < 3; k++ {
+		if f[k] != 0 {
+			t.Fatalf("coincident molecules should exert no force, got %v", f)
+		}
+	}
+}
+
+func TestIntegrateKeepsMoleculesInBox(t *testing.T) {
+	cfg := tiny()
+	st := newState(cfg)
+	c := &Contrib{F: make([][3]float64, cfg.Molecules)}
+	// Huge force: reflection must still keep positions in [0,1].
+	for i := range c.F {
+		c.F[i] = [3]float64{0.9, -0.9, 0.9}
+	}
+	integrate(st, c)
+	for i := range st.Pos {
+		for k := 0; k < 3; k++ {
+			if st.Pos[i][k] < 0 || st.Pos[i][k] > 1 {
+				t.Fatalf("molecule %d escaped the box: %v", i, st.Pos[i])
+			}
+		}
+	}
+}
+
+func TestSliceMoleculesPartition(t *testing.T) {
+	n, p := 101, 7
+	seen := make([]int, n)
+	for i := 0; i < p; i++ {
+		for _, a := range sliceMolecules(n, p, i) {
+			seen[a]++
+		}
+	}
+	for a, c := range seen {
+		if c != 1 {
+			t.Fatalf("molecule %d covered %d times", a, c)
+		}
+	}
+}
+
+func TestStateObjectSizeMatchesPaper(t *testing.T) {
+	// 1728 molecules × 96 bytes = 165,888 bytes, the broadcast object
+	// size the paper analyzes in §5.3.
+	if got := 1728 * stateBytesPerMolecule; got != 165888 {
+		t.Fatalf("state object = %d bytes, want 165888", got)
+	}
+}
+
+func TestDeterministicInitialState(t *testing.T) {
+	a, b := newState(tiny()), newState(tiny())
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+			t.Fatal("initial state not deterministic")
+		}
+	}
+}
+
+func TestClusterPlatformMatchesSerial(t *testing.T) {
+	// Cross-check the fourth platform here to keep the app packages
+	// authoritative about their own equivalence guarantees.
+	cfg := tiny()
+	m := cluster.New(cluster.DefaultConfig(3))
+	rt := jade.New(m, jade.Config{})
+	got := Run(rt, cfg)
+	rt.Finish()
+	if want := RunSerialEquivalent(cfg, 3); got != want {
+		t.Fatalf("cluster %+v != serial %+v", got, want)
+	}
+}

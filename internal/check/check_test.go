@@ -1,0 +1,125 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/apps/cholesky"
+	"repro/internal/apps/ocean"
+	"repro/internal/dash"
+	"repro/internal/ipsc"
+	"repro/internal/jade"
+	"repro/internal/trace"
+)
+
+func TestValidateOceanOnDash(t *testing.T) {
+	for _, level := range []dash.LocalityLevel{dash.NoLocality, dash.Locality} {
+		tr := trace.New()
+		m := dash.New(dash.DefaultConfig(6, level))
+		m.Trace = tr
+		rt := jade.New(m, jade.Config{})
+		cfg := ocean.Small()
+		cfg.N = 32
+		cfg.Iterations = 5
+		ocean.Run(rt, cfg)
+		rt.Finish()
+		if err := Validate(tr, rt.Tasks()); err != nil {
+			t.Fatalf("level %v: %v", level, err)
+		}
+	}
+}
+
+func TestValidateCholeskyOnIpsc(t *testing.T) {
+	for _, level := range []ipsc.LocalityLevel{ipsc.NoLocality, ipsc.Locality} {
+		tr := trace.New()
+		m := ipsc.New(ipsc.DefaultConfig(5, level))
+		m.Trace = tr
+		rt := jade.New(m, jade.Config{})
+		cfg := cholesky.Small()
+		w := cholesky.NewWorkload(cfg)
+		cholesky.Run(rt, cfg, w)
+		rt.Finish()
+		if err := Validate(tr, rt.Tasks()); err != nil {
+			t.Fatalf("level %v: %v", level, err)
+		}
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	// Hand-build a corrupt trace: two writers of the same object with
+	// overlapping spans.
+	m := dash.New(dash.DefaultConfig(2, dash.Locality))
+	rt := jade.New(m, jade.Config{})
+	o := rt.Alloc("x", 8, nil)
+	rt.WithOnly(func(s *jade.Spec) { s.Wr(o) }, 1e-3, func() {})
+	rt.WithOnly(func(s *jade.Spec) { s.Wr(o) }, 1e-3, func() {})
+	rt.Finish()
+
+	tr := trace.New()
+	tr.Add(0, trace.ExecStart, 0, 0, "")
+	tr.Add(2, trace.ExecEnd, 0, 0, "")
+	tr.Add(1, trace.ExecStart, 1, 1, "") // overlaps task 0
+	tr.Add(3, trace.ExecEnd, 1, 1, "")
+	if err := Validate(tr, rt.Tasks()); err == nil {
+		t.Fatal("overlapping conflicting spans not detected")
+	}
+}
+
+func TestSpansRejectMalformedTrace(t *testing.T) {
+	tr := trace.New()
+	tr.Add(0, trace.ExecStart, 0, 0, "")
+	if _, err := Spans(tr); err == nil {
+		t.Fatal("unfinished span not detected")
+	}
+
+	tr2 := trace.New()
+	tr2.Add(0, trace.ExecEnd, 0, 0, "")
+	if _, err := Spans(tr2); err == nil {
+		t.Fatal("end-without-start not detected")
+	}
+
+	tr3 := trace.New()
+	tr3.Add(0, trace.ExecStart, 0, 0, "")
+	tr3.Add(1, trace.ExecEnd, 0, 0, "")
+	tr3.Add(2, trace.ExecStart, 0, 0, "")
+	tr3.Add(3, trace.ExecEnd, 0, 0, "")
+	if _, err := Spans(tr3); err == nil {
+		t.Fatal("re-execution not detected")
+	}
+}
+
+func TestValidateAllowsIndependentOverlap(t *testing.T) {
+	m := dash.New(dash.DefaultConfig(2, dash.Locality))
+	rt := jade.New(m, jade.Config{})
+	a := rt.Alloc("a", 8, nil)
+	b := rt.Alloc("b", 8, nil)
+	rt.WithOnly(func(s *jade.Spec) { s.Wr(a) }, 1e-3, func() {})
+	rt.WithOnly(func(s *jade.Spec) { s.Wr(b) }, 1e-3, func() {})
+	rt.Finish()
+
+	tr := trace.New()
+	tr.Add(0, trace.ExecStart, 0, 0, "")
+	tr.Add(2, trace.ExecEnd, 0, 0, "")
+	tr.Add(1, trace.ExecStart, 1, 1, "")
+	tr.Add(3, trace.ExecEnd, 1, 1, "")
+	if err := Validate(tr, rt.Tasks()); err != nil {
+		t.Fatalf("independent overlap rejected: %v", err)
+	}
+}
+
+func TestValidateReadersMayOverlap(t *testing.T) {
+	m := dash.New(dash.DefaultConfig(2, dash.Locality))
+	rt := jade.New(m, jade.Config{})
+	o := rt.Alloc("o", 8, nil)
+	rt.WithOnly(func(s *jade.Spec) { s.Rd(o) }, 1e-3, func() {})
+	rt.WithOnly(func(s *jade.Spec) { s.Rd(o) }, 1e-3, func() {})
+	rt.Finish()
+
+	tr := trace.New()
+	tr.Add(0, trace.ExecStart, 0, 0, "")
+	tr.Add(2, trace.ExecEnd, 0, 0, "")
+	tr.Add(1, trace.ExecStart, 1, 1, "")
+	tr.Add(3, trace.ExecEnd, 1, 1, "")
+	if err := Validate(tr, rt.Tasks()); err != nil {
+		t.Fatalf("concurrent readers rejected: %v", err)
+	}
+}

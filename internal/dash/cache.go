@@ -1,0 +1,70 @@
+package dash
+
+import (
+	"container/list"
+
+	"repro/internal/jade"
+)
+
+// cacheEntry is an object-granularity cache line set.
+type cacheEntry struct {
+	obj     jade.ObjectID
+	version jade.Version
+	bytes   int
+	elem    *list.Element
+}
+
+// cache models a processor's cache at shared-object granularity with
+// byte-capacity LRU replacement. Coherence is implicit in versions:
+// a cached copy of an old version never hits.
+type cache struct {
+	capacity int
+	used     int
+	lru      *list.List // front = most recent; values are *cacheEntry
+	entries  map[jade.ObjectID]*cacheEntry
+}
+
+func newCache(capacity int) *cache {
+	return &cache{capacity: capacity, lru: list.New(), entries: make(map[jade.ObjectID]*cacheEntry)}
+}
+
+// has reports whether the cache holds object o at exactly version v.
+func (c *cache) has(o *jade.Object, v jade.Version) bool {
+	e, ok := c.entries[o.ID]
+	return ok && e.version == v
+}
+
+// insert records that the processor now holds version v of o,
+// evicting least-recently-used objects as needed. Objects larger than
+// the whole cache are not retained.
+func (c *cache) insert(o *jade.Object, v jade.Version) {
+	if e, ok := c.entries[o.ID]; ok {
+		e.version = v
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	if o.Size > c.capacity {
+		return
+	}
+	for c.used+o.Size > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, ev.obj)
+		c.used -= ev.bytes
+	}
+	e := &cacheEntry{obj: o.ID, version: v, bytes: o.Size}
+	e.elem = c.lru.PushFront(e)
+	c.entries[o.ID] = e
+	c.used += o.Size
+}
+
+// touch refreshes LRU recency for o if present.
+func (c *cache) touch(o *jade.Object) {
+	if e, ok := c.entries[o.ID]; ok {
+		c.lru.MoveToFront(e.elem)
+	}
+}

@@ -1,0 +1,208 @@
+package dash
+
+import (
+	"testing"
+
+	"repro/internal/jade"
+)
+
+func obj(id int, size int) *jade.Object {
+	return &jade.Object{ID: jade.ObjectID(id), Name: "o", Size: size}
+}
+
+func TestCacheHitRequiresExactVersion(t *testing.T) {
+	c := newCache(1024)
+	o := obj(1, 100)
+	c.insert(o, 3)
+	if !c.has(o, 3) {
+		t.Fatal("miss on inserted version")
+	}
+	if c.has(o, 2) || c.has(o, 4) {
+		t.Fatal("stale or future version hit")
+	}
+}
+
+func TestCacheEvictsLRUByBytes(t *testing.T) {
+	c := newCache(250)
+	a, b, d := obj(1, 100), obj(2, 100), obj(3, 100)
+	c.insert(a, 0)
+	c.insert(b, 0)
+	c.insert(d, 0) // exceeds 250: evicts a (LRU)
+	if c.has(a, 0) {
+		t.Fatal("LRU object not evicted")
+	}
+	if !c.has(b, 0) || !c.has(d, 0) {
+		t.Fatal("recent objects evicted")
+	}
+}
+
+func TestCacheTouchRefreshesRecency(t *testing.T) {
+	c := newCache(250)
+	a, b, d := obj(1, 100), obj(2, 100), obj(3, 100)
+	c.insert(a, 0)
+	c.insert(b, 0)
+	c.touch(a) // now b is LRU
+	c.insert(d, 0)
+	if c.has(b, 0) {
+		t.Fatal("touched object should have displaced the other")
+	}
+	if !c.has(a, 0) {
+		t.Fatal("touched object evicted")
+	}
+}
+
+func TestCacheOversizedObjectNotRetained(t *testing.T) {
+	c := newCache(100)
+	big := obj(1, 1000)
+	c.insert(big, 0)
+	if c.has(big, 0) {
+		t.Fatal("object larger than the cache retained")
+	}
+}
+
+func TestCacheVersionUpdateInPlace(t *testing.T) {
+	c := newCache(1000)
+	a := obj(1, 100)
+	c.insert(a, 0)
+	c.insert(a, 1)
+	if c.has(a, 0) {
+		t.Fatal("old version still hits")
+	}
+	if !c.has(a, 1) {
+		t.Fatal("new version misses")
+	}
+	if c.used != 100 {
+		t.Fatalf("used = %d, want 100 (no double count)", c.used)
+	}
+}
+
+func TestProcQueueFIFOWithinObject(t *testing.T) {
+	q := newProcQueue()
+	o := obj(1, 8)
+	t1 := &jade.Task{ID: 1}
+	t2 := &jade.Task{ID: 2}
+	q.push(t1, o)
+	q.push(t2, o)
+	if got := q.popFirst(); got != t1 {
+		t.Fatalf("popFirst = %v, want t1", got.ID)
+	}
+	if got := q.popFirst(); got != t2 {
+		t.Fatalf("popFirst = %v, want t2", got.ID)
+	}
+	if q.popFirst() != nil {
+		t.Fatal("empty queue returned a task")
+	}
+}
+
+func TestProcQueueObjectQueueOrder(t *testing.T) {
+	q := newProcQueue()
+	oa, ob := obj(1, 8), obj(2, 8)
+	ta := &jade.Task{ID: 1}
+	tb := &jade.Task{ID: 2}
+	ta2 := &jade.Task{ID: 3}
+	q.push(ta, oa)
+	q.push(tb, ob)
+	q.push(ta2, oa)
+	// Dispatch: first task of FIRST object task queue → ta, then ta2
+	// (same OTQ), then tb.
+	if q.popFirst() != ta {
+		t.Fatal("expected ta first")
+	}
+	if q.popFirst() != ta2 {
+		t.Fatal("expected ta2 second (same OTQ)")
+	}
+	if q.popFirst() != tb {
+		t.Fatal("expected tb last")
+	}
+}
+
+func TestProcQueueStealLastOfLast(t *testing.T) {
+	q := newProcQueue()
+	oa, ob := obj(1, 8), obj(2, 8)
+	t1, t2, t3 := &jade.Task{ID: 1}, &jade.Task{ID: 2}, &jade.Task{ID: 3}
+	q.push(t1, oa)
+	q.push(t2, ob)
+	q.push(t3, ob)
+	// Steal: last task of LAST object task queue → t3.
+	if got := q.stealLast(); got != t3 {
+		t.Fatalf("stealLast = %v, want t3", got.ID)
+	}
+	if got := q.stealLast(); got != t2 {
+		t.Fatalf("stealLast = %v, want t2", got.ID)
+	}
+	if got := q.stealLast(); got != t1 {
+		t.Fatalf("stealLast = %v, want t1", got.ID)
+	}
+}
+
+func TestProcQueuePlacedNotStealable(t *testing.T) {
+	q := newProcQueue()
+	tp := &jade.Task{ID: 1, Placed: 2}
+	q.pushPlaced(tp)
+	if q.stealLast() != nil || q.stealFirst() != nil {
+		t.Fatal("placed task was stolen")
+	}
+	if q.popFirst() != tp {
+		t.Fatal("placed task not dispatched")
+	}
+}
+
+func TestProcQueueEmpty(t *testing.T) {
+	q := newProcQueue()
+	if !q.empty() {
+		t.Fatal("new queue not empty")
+	}
+	q.push(&jade.Task{ID: 1}, obj(1, 8))
+	if q.empty() {
+		t.Fatal("non-empty queue reported empty")
+	}
+	q.popFirst()
+	if !q.empty() {
+		t.Fatal("drained queue not empty")
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	m := New(DefaultConfig(2, Locality))
+	for id := 0; id < 1000; id++ {
+		j1 := m.jitter(jade.TaskID(id))
+		j2 := m.jitter(jade.TaskID(id))
+		if j1 != j2 {
+			t.Fatal("jitter not deterministic")
+		}
+		lo := 1 - m.cfg.JitterPct/2
+		hi := 1 + m.cfg.JitterPct/2
+		if j1 < lo || j1 > hi {
+			t.Fatalf("jitter(%d) = %v outside [%v,%v]", id, j1, lo, hi)
+		}
+	}
+	cfg := DefaultConfig(2, Locality)
+	cfg.JitterPct = 0
+	m0 := New(cfg)
+	if m0.jitter(7) != 1 {
+		t.Fatal("zero jitter config should return exactly 1")
+	}
+}
+
+func TestClusterMapping(t *testing.T) {
+	cfg := DefaultConfig(32, Locality)
+	if cfg.cluster(0) != 0 || cfg.cluster(3) != 0 {
+		t.Fatal("processors 0-3 should share cluster 0")
+	}
+	if cfg.cluster(4) != 1 || cfg.cluster(31) != 7 {
+		t.Fatal("cluster mapping wrong")
+	}
+	cfg.ClusterSize = 0
+	if cfg.cluster(5) != 5 {
+		t.Fatal("degenerate cluster size should map identity")
+	}
+}
+
+func TestLineTime(t *testing.T) {
+	cfg := DefaultConfig(1, Locality)
+	// 33 bytes = 3 lines of 16 bytes.
+	want := 3 * cfg.RemoteMemCycles / cfg.ClockHz
+	if got := cfg.lineTime(33, cfg.RemoteMemCycles); got != want {
+		t.Fatalf("lineTime = %v, want %v", got, want)
+	}
+}

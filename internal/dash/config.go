@@ -1,0 +1,127 @@
+// Package dash models a cache-coherent NUMA shared-memory machine in
+// the style of the Stanford DASH multiprocessor (Appendix B of the
+// paper): processors grouped into four-processor clusters, physically
+// distributed memory modules, hardware-coherent caches, and the
+// published access latencies. On this platform the Jade implementation
+// cannot control communication directly; its only lever is the
+// locality scheduling heuristic of §3.2.1, which this package
+// implements faithfully (per-processor task queues structured as
+// queues of object task queues, with cyclic stealing from the tail).
+package dash
+
+// LocalityLevel selects the paper's three locality optimization levels
+// (§5.2).
+type LocalityLevel int
+
+const (
+	// NoLocality distributes enabled tasks to idle processors
+	// first-come first-served from a single shared task queue.
+	NoLocality LocalityLevel = iota
+	// Locality uses the scheduler of §3.2.1: tasks queue on the
+	// processor owning their locality object; idle processors steal.
+	Locality
+	// TaskPlacement honors the programmer's explicit placement
+	// (jade.PlaceOn); placed tasks are never stolen. Unplaced tasks
+	// fall back to the locality heuristic.
+	TaskPlacement
+)
+
+// String implements fmt.Stringer.
+func (l LocalityLevel) String() string {
+	switch l {
+	case NoLocality:
+		return "No Locality"
+	case Locality:
+		return "Locality"
+	case TaskPlacement:
+		return "Task Placement"
+	}
+	return "unknown"
+}
+
+// Config parameterizes the machine model. The defaults reproduce the
+// published DASH numbers: 33 MHz processors, 16-byte coherence lines,
+// and 1/15/29/101/132-cycle access latencies.
+type Config struct {
+	// Procs is the processor count (DASH scales to 32 in the paper).
+	Procs int
+	// Level is the locality optimization level.
+	Level LocalityLevel
+
+	// ClockHz is the processor clock (33 MHz R3000).
+	ClockHz float64
+	// LineBytes is the coherence granularity (16-byte lines).
+	LineBytes int
+	// ClusterSize groups processors into bus-based clusters (4).
+	ClusterSize int
+
+	// Per-line access latencies in cycles (Appendix B).
+	CacheHitCycles    float64 // resident in the local cache hierarchy
+	LocalMemCycles    float64 // home memory in the local cluster
+	RemoteMemCycles   float64 // clean line in a remote home cluster
+	DirtyRemoteCycles float64 // dirty line in a third cluster
+
+	// CacheBytes is the per-processor cache capacity used by the
+	// object-granularity cache model (256 KB second-level cache).
+	CacheBytes int
+
+	// SpeedFactor scales task work (1.0 = the reference processor,
+	// which we define as a DASH node).
+	SpeedFactor float64
+
+	// TaskCreateSec is the main-processor overhead to create one task
+	// (synchronizer registration + queue insertion). TaskDispatchSec
+	// is the per-task scheduling/dispatch overhead on the executing
+	// processor; StealSec is the extra cost of a successful steal.
+	TaskCreateSec   float64
+	TaskDispatchSec float64
+	StealSec        float64
+	// StealDelaySec is how long an idle processor takes to notice
+	// stealable work on another processor's queue. Newly enabled
+	// tasks always wake their target processor immediately.
+	StealDelaySec float64
+	// JitterPct adds deterministic per-task execution-time variation
+	// (hashed from the task ID), modeling the memory/bus contention
+	// variance of the real machine. It is what gives the dynamic
+	// load balancer occasions to move tasks off their targets at the
+	// Locality level (Figures 4–5).
+	JitterPct float64
+}
+
+// DefaultConfig returns the DASH model at the given processor count
+// and locality level.
+func DefaultConfig(procs int, level LocalityLevel) Config {
+	return Config{
+		Procs:             procs,
+		Level:             level,
+		ClockHz:           33e6,
+		LineBytes:         16,
+		ClusterSize:       4,
+		CacheHitCycles:    2,
+		LocalMemCycles:    29,
+		RemoteMemCycles:   101,
+		DirtyRemoteCycles: 132,
+		CacheBytes:        256 << 10,
+		SpeedFactor:       1.0,
+		TaskCreateSec:     60e-6,
+		TaskDispatchSec:   25e-6,
+		StealSec:          15e-6,
+		StealDelaySec:     300e-6,
+		JitterPct:         0.08,
+	}
+}
+
+// cluster returns the cluster index of processor p.
+func (c *Config) cluster(p int) int {
+	if c.ClusterSize <= 0 {
+		return p
+	}
+	return p / c.ClusterSize
+}
+
+// lineTime returns the time to move n bytes at the given per-line
+// cycle cost.
+func (c *Config) lineTime(bytes int, cyclesPerLine float64) float64 {
+	lines := (bytes + c.LineBytes - 1) / c.LineBytes
+	return float64(lines) * cyclesPerLine / c.ClockHz
+}

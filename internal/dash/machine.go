@@ -1,0 +1,407 @@
+package dash
+
+import (
+	"fmt"
+
+	"repro/internal/jade"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// writerInfo tracks the last writer of an object for the dirty-line
+// cost path (a dirty line in a third cluster costs 132 cycles).
+type writerInfo struct {
+	proc    int
+	version jade.Version
+	dirty   bool
+}
+
+// Machine is the DASH-style shared-memory platform. It implements
+// jade.Platform: a deterministic discrete-event model of the machine
+// running the Jade shared-memory implementation (synchronizer +
+// scheduler + dispatcher of §3.1–3.2).
+type Machine struct {
+	cfg Config
+	eng *sim.Engine
+	rt  *jade.Runtime
+
+	procs  []*sim.Processor
+	queues []*procQueue
+	global []*jade.Task // NoLocality shared queue
+	caches []*cache
+
+	running    []bool
+	idle       []bool
+	dispatchAt []sim.Time // earliest pending dispatch event, or -1
+
+	createdDone map[jade.TaskID]sim.Time
+	lastWriter  map[jade.ObjectID]writerInfo
+
+	// StealFromHead flips the steal path to take the first task of
+	// the first object task queue (ablation; see DESIGN.md §6).
+	StealFromHead bool
+	// Trace, when non-nil, records scheduling and execution events.
+	Trace *trace.Trace
+
+	stats    metrics.Run
+	execBase sim.Time
+	busyBase []float64
+}
+
+var _ jade.Platform = (*Machine)(nil)
+
+// New builds a DASH machine from cfg.
+func New(cfg Config) *Machine {
+	if cfg.Procs < 1 {
+		panic("dash: need at least one processor")
+	}
+	m := &Machine{
+		cfg:         cfg,
+		eng:         sim.New(),
+		queues:      make([]*procQueue, cfg.Procs),
+		caches:      make([]*cache, cfg.Procs),
+		running:     make([]bool, cfg.Procs),
+		idle:        make([]bool, cfg.Procs),
+		dispatchAt:  make([]sim.Time, cfg.Procs),
+		createdDone: make(map[jade.TaskID]sim.Time),
+		lastWriter:  make(map[jade.ObjectID]writerInfo),
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		m.procs = append(m.procs, sim.NewProcessor(m.eng))
+		m.queues[i] = newProcQueue()
+		m.caches[i] = newCache(cfg.CacheBytes)
+		m.idle[i] = true
+		m.dispatchAt[i] = -1
+	}
+	m.stats.Procs = cfg.Procs
+	return m
+}
+
+// Attach implements jade.Platform.
+func (m *Machine) Attach(rt *jade.Runtime) { m.rt = rt }
+
+// Processors implements jade.Platform.
+func (m *Machine) Processors() int { return m.cfg.Procs }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// ObjectAllocated implements jade.Platform. Placement is entirely
+// captured by Object.Home.
+func (m *Machine) ObjectAllocated(o *jade.Object) {}
+
+// TaskCreated implements jade.Platform: charge creation overhead to
+// the main processor; if the task is already enabled, enqueue it when
+// its creation completes.
+func (m *Machine) TaskCreated(t *jade.Task, enabled bool) {
+	done := m.procs[0].Submit(m.eng.Now(), sim.Time(m.cfg.TaskCreateSec), nil)
+	m.stats.TaskMgmtTime += m.cfg.TaskCreateSec
+	m.createdDone[t.ID] = done
+	m.traceEvent(float64(done), trace.TaskCreated, int(t.ID), 0, "")
+	if enabled {
+		m.eng.At(done, func() { m.enqueue(t) })
+	}
+}
+
+// TaskEnabled implements jade.Platform: a dependence was satisfied
+// during Drain; the task becomes schedulable once its creation has
+// also finished.
+func (m *Machine) TaskEnabled(t *jade.Task) {
+	at := m.eng.Now()
+	if cd := m.createdDone[t.ID]; cd > at {
+		at = cd
+	}
+	m.eng.At(at, func() { m.enqueue(t) })
+}
+
+// SerialWork implements jade.Platform.
+func (m *Machine) SerialWork(d float64) {
+	m.procs[0].Submit(m.eng.Now(), sim.Time(d*m.cfg.SpeedFactor), nil)
+}
+
+// MainTouches implements jade.Platform: the main program's own object
+// accesses cost memory time on processor 0.
+func (m *Machine) MainTouches(accs []jade.Access) {
+	var total float64
+	for _, a := range accs {
+		total += m.accessCost(0, a)
+	}
+	if total > 0 {
+		m.procs[0].Submit(m.eng.Now(), sim.Time(total), nil)
+	}
+}
+
+// Drain implements jade.Platform: run the event loop to completion and
+// synchronize the main processor with the final virtual time.
+func (m *Machine) Drain() {
+	end := m.eng.Run()
+	m.procs[0].Advance(end)
+}
+
+// Stats implements jade.Platform.
+func (m *Machine) Stats() *metrics.Run {
+	m.stats.ExecTime = float64(m.procs[0].FreeAt() - m.execBase)
+	m.stats.ProcBusy = m.stats.ProcBusy[:0]
+	for i, p := range m.procs {
+		b := float64(p.BusyTime())
+		if i < len(m.busyBase) {
+			b -= m.busyBase[i]
+		}
+		m.stats.ProcBusy = append(m.stats.ProcBusy, b)
+	}
+	return &m.stats
+}
+
+// ResetStats implements jade.Platform.
+func (m *Machine) ResetStats() {
+	m.stats = metrics.Run{Procs: m.cfg.Procs}
+	m.execBase = m.procs[0].FreeAt()
+	m.busyBase = m.busyBase[:0]
+	for _, p := range m.procs {
+		m.busyBase = append(m.busyBase, float64(p.BusyTime()))
+	}
+}
+
+// target returns the processor that owns the task's locality object
+// (the memory module it is allocated in).
+func (m *Machine) target(t *jade.Task) int {
+	lobj := t.LocalityObject(m.rt.Config().Locality)
+	if lobj == nil {
+		return 0
+	}
+	return lobj.Home
+}
+
+// enqueue places an enabled task in the scheduling structures and
+// wakes processors. The target processor is woken immediately; other
+// idle processors are woken after StealDelaySec, modeling the latency
+// of an idle dispatcher noticing remote work. This is what lets a
+// stream of enabled tasks reach their target processors before idle
+// peers displace them (the paper's Water/String runs execute 100% of
+// tasks on target), while sustained imbalance still triggers steals.
+func (m *Machine) enqueue(t *jade.Task) {
+	m.traceEvent(float64(m.eng.Now()), trace.TaskEnabled, int(t.ID), -1, "")
+	switch {
+	case m.cfg.Level == NoLocality:
+		m.global = append(m.global, t)
+		m.pokeAllIdle(0)
+	case m.cfg.Level == TaskPlacement && t.Placed >= 0:
+		m.queues[t.Placed].pushPlaced(t)
+		m.poke(t.Placed, 0)
+	default:
+		lobj := t.LocalityObject(m.rt.Config().Locality)
+		tgt := m.target(t)
+		m.queues[tgt].push(t, lobj)
+		m.poke(tgt, 0)
+		m.pokeAllIdle(sim.Time(m.cfg.StealDelaySec))
+	}
+}
+
+// poke schedules a dispatch attempt on processor p after delay (and no
+// earlier than the processor is free). Redundant pokes that cannot
+// beat an already-scheduled one are dropped; dispatch itself is
+// idempotent while the processor runs a task.
+func (m *Machine) poke(p int, delay sim.Time) {
+	if m.running[p] {
+		return // the completion handler dispatches
+	}
+	at := m.eng.Now() + delay
+	if f := m.procs[p].FreeAt(); f > at {
+		at = f
+	}
+	if d := m.dispatchAt[p]; d >= 0 && d <= at {
+		return
+	}
+	m.dispatchAt[p] = at
+	m.eng.At(at, func() {
+		if m.dispatchAt[p] == at {
+			m.dispatchAt[p] = -1
+		}
+		m.dispatch(p)
+	})
+}
+
+func (m *Machine) pokeAllIdle(delay sim.Time) {
+	for p := 0; p < m.cfg.Procs; p++ {
+		if m.idle[p] && !m.running[p] {
+			m.poke(p, delay)
+		}
+	}
+}
+
+// dispatch gives processor p its next task (§3.2.1): first the first
+// task of the first object task queue in its own queue, else a cyclic
+// search stealing the last task of the last object task queue of the
+// first non-empty victim.
+func (m *Machine) dispatch(p int) {
+	if m.running[p] {
+		return
+	}
+	var t *jade.Task
+	stole := false
+	if m.cfg.Level == NoLocality {
+		if len(m.global) > 0 {
+			t = m.global[0]
+			m.global = m.global[1:]
+		}
+	} else {
+		t = m.queues[p].popFirst()
+		if t == nil {
+			for i := 1; i < m.cfg.Procs; i++ {
+				victim := m.queues[(p+i)%m.cfg.Procs]
+				if m.StealFromHead {
+					t = victim.stealFirst()
+				} else {
+					t = victim.stealLast()
+				}
+				if t != nil {
+					stole = true
+					break
+				}
+			}
+		}
+	}
+	if t == nil {
+		m.idle[p] = true
+		return
+	}
+	m.idle[p] = false
+	m.execute(p, t, stole)
+}
+
+// execute runs task t on processor p: dispatch overhead plus memory
+// access time for the declared objects plus the scaled compute work.
+func (m *Machine) execute(p int, t *jade.Task, stole bool) {
+	mgmt := m.cfg.TaskDispatchSec
+	if stole {
+		mgmt += m.cfg.StealSec
+	}
+	m.stats.TaskMgmtTime += mgmt
+
+	var app float64
+	if !m.rt.Config().WorkFree {
+		for _, a := range t.Accesses {
+			app += m.accessCost(p, a)
+		}
+		app += t.Work * m.cfg.SpeedFactor
+		app *= m.jitter(t.ID)
+	}
+	m.stats.TaskCount++
+	if p == m.target(t) {
+		m.stats.TasksOnTarget++
+	}
+	m.stats.TaskExecTotal += app
+
+	m.running[p] = true
+	m.traceEvent(float64(m.eng.Now()), trace.ExecStart, int(t.ID), p, fmt.Sprintf("stole=%v", stole))
+	if len(t.Segments) > 0 && !m.rt.Config().WorkFree {
+		// Staged task: memory and dispatch costs are charged with the
+		// first segment; each segment boundary may release accesses.
+		m.executeStaged(p, t, mgmt+app-t.Work*m.cfg.SpeedFactor*m.jitter(t.ID))
+		return
+	}
+	m.rt.RunBody(t)
+	m.procs[p].Submit(m.eng.Now(), sim.Time(mgmt+app), func(start, end sim.Time) {
+		m.running[p] = false
+		m.traceEvent(float64(end), trace.ExecEnd, int(t.ID), p, "")
+		m.rt.TaskDone(t)
+		m.dispatch(p)
+	})
+}
+
+// traceEvent records an event when tracing is enabled.
+func (m *Machine) traceEvent(at float64, k trace.Kind, task, proc int, detail string) {
+	if m.Trace != nil {
+		m.Trace.Add(at, k, task, proc, detail)
+	}
+}
+
+// executeStaged runs a multi-synchronization-point task: segments
+// execute back to back on the processor; at each segment's completion
+// the released objects' successors are enabled immediately.
+func (m *Machine) executeStaged(p int, t *jade.Task, baseCost float64) {
+	segs := t.Segments
+	var run func(i int)
+	run = func(i int) {
+		m.rt.RunSegmentBody(t, i)
+		d := segs[i].Work * m.cfg.SpeedFactor * m.jitter(t.ID)
+		if i == 0 {
+			d += baseCost
+		}
+		m.procs[p].Submit(m.eng.Now(), sim.Time(d), func(start, end sim.Time) {
+			for _, o := range segs[i].Release {
+				for _, n := range m.rt.ReleaseEarly(t, o) {
+					m.TaskEnabled(n)
+				}
+			}
+			if i+1 < len(segs) {
+				run(i + 1)
+				return
+			}
+			m.running[p] = false
+			m.traceEvent(float64(end), trace.ExecEnd, int(t.ID), p, "staged")
+			m.rt.TaskDone(t)
+			m.dispatch(p)
+		})
+	}
+	run(0)
+}
+
+// jitter returns the deterministic execution-time factor for a task:
+// 1 ± JitterPct/2, hashed from the task ID.
+func (m *Machine) jitter(id jade.TaskID) float64 {
+	if m.cfg.JitterPct == 0 {
+		return 1
+	}
+	h := uint64(id)*0x9e3779b97f4a7c15 + 0x85ebca6b
+	h ^= h >> 33
+	u := float64(h%1000) / 1000 // [0,1)
+	return 1 + m.cfg.JitterPct*(u-0.5)
+}
+
+// accessCost returns the memory time for one declared access on
+// processor p, updates the cache and dirty-line state, and accounts
+// local/remote traffic.
+func (m *Machine) accessCost(p int, a jade.Access) float64 {
+	o := a.Obj
+	c := m.caches[p]
+	resulting := a.RequiredVersion
+	if a.Writes() {
+		resulting++
+	}
+
+	var cycles float64
+	remote := false
+	switch {
+	case c.has(o, a.RequiredVersion):
+		cycles = m.cfg.CacheHitCycles
+		c.touch(o)
+	default:
+		lw, hasLW := m.lastWriter[o.ID]
+		dirtyElsewhere := hasLW && lw.dirty && lw.version == a.RequiredVersion &&
+			m.cfg.cluster(lw.proc) != m.cfg.cluster(p)
+		switch {
+		case dirtyElsewhere:
+			cycles = m.cfg.DirtyRemoteCycles
+			remote = true
+			lw.dirty = false // written back on the forwarding read
+			m.lastWriter[o.ID] = lw
+		case m.cfg.cluster(o.Home) == m.cfg.cluster(p):
+			cycles = m.cfg.LocalMemCycles
+		default:
+			cycles = m.cfg.RemoteMemCycles
+			remote = true
+		}
+	}
+	if remote {
+		m.stats.RemoteBytes += int64(o.Size)
+	} else {
+		m.stats.LocalBytes += int64(o.Size)
+	}
+	c.insert(o, resulting)
+	if a.Writes() {
+		m.lastWriter[o.ID] = writerInfo{proc: p, version: resulting, dirty: true}
+	}
+	return m.cfg.lineTime(o.Size, cycles)
+}

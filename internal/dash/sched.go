@@ -1,0 +1,113 @@
+package dash
+
+import "repro/internal/jade"
+
+// objQueue is an object task queue (§3.2.1): the FIFO of enabled tasks
+// whose locality object is obj.
+type objQueue struct {
+	obj   *jade.Object
+	tasks []*jade.Task
+}
+
+// procQueue is one processor's task queue: a FIFO of non-empty object
+// task queues, plus a FIFO of explicitly placed tasks (which are never
+// stolen).
+type procQueue struct {
+	placed []*jade.Task
+	otqs   []*objQueue
+	byObj  map[jade.ObjectID]*objQueue
+	// count of schedulable (stealable) tasks across otqs.
+	count int
+}
+
+func newProcQueue() *procQueue {
+	return &procQueue{byObj: make(map[jade.ObjectID]*objQueue)}
+}
+
+// pushPlaced appends an explicitly placed task.
+func (q *procQueue) pushPlaced(t *jade.Task) { q.placed = append(q.placed, t) }
+
+// push inserts a task into the object task queue of its locality
+// object, creating and appending the OTQ if it was empty.
+func (q *procQueue) push(t *jade.Task, obj *jade.Object) {
+	otq, ok := q.byObj[obj.ID]
+	if !ok {
+		otq = &objQueue{obj: obj}
+		q.byObj[obj.ID] = otq
+	}
+	if len(otq.tasks) == 0 {
+		q.otqs = append(q.otqs, otq)
+	}
+	otq.tasks = append(otq.tasks, t)
+	q.count++
+}
+
+// popFirst removes and returns the first task of the first object task
+// queue (the dispatch path), or the first placed task if any.
+func (q *procQueue) popFirst() *jade.Task {
+	if len(q.placed) > 0 {
+		t := q.placed[0]
+		q.placed = q.placed[1:]
+		return t
+	}
+	for len(q.otqs) > 0 {
+		otq := q.otqs[0]
+		if len(otq.tasks) == 0 {
+			q.otqs = q.otqs[1:]
+			continue
+		}
+		t := otq.tasks[0]
+		otq.tasks = otq.tasks[1:]
+		q.count--
+		if len(otq.tasks) == 0 {
+			q.otqs = q.otqs[1:]
+		}
+		return t
+	}
+	return nil
+}
+
+// stealLast removes and returns the last task of the last object task
+// queue (the steal path). Placed tasks are not stealable.
+func (q *procQueue) stealLast() *jade.Task {
+	for len(q.otqs) > 0 {
+		otq := q.otqs[len(q.otqs)-1]
+		if len(otq.tasks) == 0 {
+			q.otqs = q.otqs[:len(q.otqs)-1]
+			continue
+		}
+		t := otq.tasks[len(otq.tasks)-1]
+		otq.tasks = otq.tasks[:len(otq.tasks)-1]
+		q.count--
+		if len(otq.tasks) == 0 {
+			q.otqs = q.otqs[:len(q.otqs)-1]
+		}
+		return t
+	}
+	return nil
+}
+
+// stealFirst removes and returns the first task of the first object
+// task queue — the ablation variant that destroys the consecutive-
+// execution property the tail-steal preserves.
+func (q *procQueue) stealFirst() *jade.Task {
+	// Identical to popFirst but skipping placed tasks.
+	for len(q.otqs) > 0 {
+		otq := q.otqs[0]
+		if len(otq.tasks) == 0 {
+			q.otqs = q.otqs[1:]
+			continue
+		}
+		t := otq.tasks[0]
+		otq.tasks = otq.tasks[1:]
+		q.count--
+		if len(otq.tasks) == 0 {
+			q.otqs = q.otqs[1:]
+		}
+		return t
+	}
+	return nil
+}
+
+// empty reports whether the queue holds no tasks at all.
+func (q *procQueue) empty() bool { return q.count == 0 && len(q.placed) == 0 }

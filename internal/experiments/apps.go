@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/apps/cholesky"
+	"repro/internal/apps/ocean"
+	"repro/internal/apps/tomo"
+	"repro/internal/apps/water"
+	"repro/internal/jade"
+)
+
+// appSpec adapts one application to the experiment runners.
+type appSpec struct {
+	name string
+	// hasPlacement marks apps the programmer can explicitly place
+	// (Ocean and Panel Cholesky; §5.2).
+	hasPlacement bool
+	run          func(rt *jade.Runtime, scale Scale, place bool)
+	serialWork   func(scale Scale) float64
+	strippedWork func(scale Scale) float64
+}
+
+func waterCfg(scale Scale) water.Config {
+	if scale == PaperScale {
+		return water.Paper()
+	}
+	return water.Small()
+}
+
+func tomoCfg(scale Scale) tomo.Config {
+	if scale == PaperScale {
+		return tomo.Paper()
+	}
+	return tomo.Small()
+}
+
+func oceanCfg(scale Scale) ocean.Config {
+	if scale == PaperScale {
+		return ocean.Paper()
+	}
+	return ocean.Small()
+}
+
+func choleskyCfg(scale Scale) cholesky.Config {
+	if scale == PaperScale {
+		return cholesky.Paper()
+	}
+	return cholesky.Small()
+}
+
+// The Cholesky symbolic factorization is shared across runs of a
+// scale, mirroring the paper's exclusion of the symbolic phase from
+// the timings.
+var (
+	choleskyMu    sync.Mutex
+	choleskyCache = map[Scale]*cholesky.Workload{}
+)
+
+func choleskyWorkload(scale Scale) *cholesky.Workload {
+	choleskyMu.Lock()
+	defer choleskyMu.Unlock()
+	if w, ok := choleskyCache[scale]; ok {
+		return w
+	}
+	w := cholesky.NewWorkload(choleskyCfg(scale))
+	choleskyCache[scale] = w
+	return w
+}
+
+var waterApp = &appSpec{
+	name: "Water",
+	run: func(rt *jade.Runtime, scale Scale, place bool) {
+		water.Run(rt, waterCfg(scale))
+	},
+	serialWork:   func(s Scale) float64 { return water.SerialWorkSec(waterCfg(s)) },
+	strippedWork: func(s Scale) float64 { return water.StrippedWorkSec(waterCfg(s)) },
+}
+
+var tomoApp = &appSpec{
+	name: "String",
+	run: func(rt *jade.Runtime, scale Scale, place bool) {
+		tomo.Run(rt, tomoCfg(scale))
+	},
+	serialWork:   func(s Scale) float64 { return tomo.SerialWorkSec(tomoCfg(s)) },
+	strippedWork: func(s Scale) float64 { return tomo.StrippedWorkSec(tomoCfg(s)) },
+}
+
+var oceanApp = &appSpec{
+	name:         "Ocean",
+	hasPlacement: true,
+	run: func(rt *jade.Runtime, scale Scale, place bool) {
+		cfg := oceanCfg(scale)
+		cfg.Place = place
+		ocean.Run(rt, cfg)
+	},
+	serialWork:   func(s Scale) float64 { return ocean.SerialWorkSec(oceanCfg(s)) },
+	strippedWork: func(s Scale) float64 { return ocean.StrippedWorkSec(oceanCfg(s)) },
+}
+
+var choleskyApp = &appSpec{
+	name:         "Panel Cholesky",
+	hasPlacement: true,
+	run: func(rt *jade.Runtime, scale Scale, place bool) {
+		cfg := choleskyCfg(scale)
+		cfg.Place = place
+		cholesky.Run(rt, cfg, choleskyWorkload(scale))
+	},
+	serialWork: func(s Scale) float64 {
+		return cholesky.SerialWorkSec(choleskyCfg(s), choleskyWorkload(s))
+	},
+	strippedWork: func(s Scale) float64 {
+		return cholesky.StrippedWorkSec(choleskyCfg(s), choleskyWorkload(s))
+	},
+}
+
+var allApps = []*appSpec{waterApp, tomoApp, oceanApp, choleskyApp}

@@ -1,0 +1,519 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps/cholesky"
+	"repro/internal/dash"
+	"repro/internal/ipsc"
+	"repro/internal/jade"
+	"repro/internal/metrics"
+	"repro/internal/table"
+)
+
+func init() {
+	// ---- Table 1 / Table 6: serial and stripped times ----
+	register("table1", "Serial and Stripped Execution Times on DASH (seconds)",
+		func(scale Scale) *Result { return serialTable("table1", scale, 1.0) })
+	register("table6", "Serial and Stripped Execution Times on the iPSC/860 (seconds)",
+		func(scale Scale) *Result {
+			return serialTable("table6", scale, ipsc.DefaultConfig(1, ipsc.Locality).SpeedFactor)
+		})
+
+	// ---- Tables 2–5: execution times on DASH ----
+	for i, a := range allApps {
+		id := fmt.Sprintf("table%d", 2+i)
+		a := a
+		register(id, fmt.Sprintf("Execution Times for %s on DASH (seconds)", a.name),
+			func(scale Scale) *Result { return dashExecTable(id, a, scale) })
+	}
+
+	// ---- Tables 7–10: execution times on the iPSC/860 ----
+	for i, a := range allApps {
+		id := fmt.Sprintf("table%d", 7+i)
+		a := a
+		register(id, fmt.Sprintf("Execution Times for %s on the iPSC/860 (seconds)", a.name),
+			func(scale Scale) *Result { return ipscExecTable(id, a, scale) })
+	}
+
+	// ---- Tables 11–14: adaptive broadcast on/off ----
+	for i, a := range allApps {
+		id := fmt.Sprintf("table%d", 11+i)
+		a := a
+		register(id, fmt.Sprintf("Execution Times for %s on the iPSC/860 with/without Adaptive Broadcast (seconds)", a.name),
+			func(scale Scale) *Result { return broadcastTable(id, a, scale) })
+	}
+
+	// ---- Figures 2–5: task locality percentage on DASH ----
+	for i, a := range allApps {
+		id := fmt.Sprintf("fig%d", 2+i)
+		a := a
+		register(id, fmt.Sprintf("Task Locality Percentage for %s on DASH", a.name),
+			func(scale Scale) *Result { return dashMetricFigure(id, a, scale, "task locality %", localityMetric) })
+	}
+
+	// ---- Figures 6–9: total task execution time on DASH ----
+	for i, a := range allApps {
+		id := fmt.Sprintf("fig%d", 6+i)
+		a := a
+		register(id, fmt.Sprintf("Total Task Execution Time for %s on DASH (seconds)", a.name),
+			func(scale Scale) *Result { return dashMetricFigure(id, a, scale, "task time (s)", taskExecMetric) })
+	}
+
+	// ---- Figures 10–11: task management percentage on DASH ----
+	for i, a := range []*appSpec{oceanApp, choleskyApp} {
+		id := fmt.Sprintf("fig%d", 10+i)
+		a := a
+		register(id, fmt.Sprintf("Task Management Percentage for %s on DASH", a.name),
+			func(scale Scale) *Result { return mgmtFigure(id, a, scale, true) })
+	}
+
+	// ---- Figures 12–15: task locality percentage on the iPSC/860 ----
+	for i, a := range allApps {
+		id := fmt.Sprintf("fig%d", 12+i)
+		a := a
+		register(id, fmt.Sprintf("Task Locality Percentage for %s on the iPSC/860", a.name),
+			func(scale Scale) *Result { return ipscMetricFigure(id, a, scale, "task locality %", localityMetric) })
+	}
+
+	// ---- Figures 16–19: communication-to-computation ratio ----
+	for i, a := range allApps {
+		id := fmt.Sprintf("fig%d", 16+i)
+		a := a
+		register(id, fmt.Sprintf("Communication to Computation Ratio for %s on the iPSC/860 (Mbytes/second)", a.name),
+			func(scale Scale) *Result { return ipscMetricFigure(id, a, scale, "MB / compute s", commCompMetric) })
+	}
+
+	// ---- Figures 20–21: task management percentage on the iPSC/860 ----
+	for i, a := range []*appSpec{oceanApp, choleskyApp} {
+		id := fmt.Sprintf("fig%d", 20+i)
+		a := a
+		register(id, fmt.Sprintf("Task Management Percentage for %s on the iPSC/860", a.name),
+			func(scale Scale) *Result { return mgmtFigure(id, a, scale, false) })
+	}
+
+	// ---- §5.1, §5.4, §5.5 and the design-choice ablations ----
+	register("sec5.1", "Replication: read sharing per application (iPSC/860, 8 processors)", replicationStudy)
+	register("sec5.4", "Latency Hiding: target tasks per processor (Panel Cholesky, iPSC/860)", latencyHidingStudy)
+	register("sec5.5", "Concurrent Fetch: object latency / task latency at the highest locality level", concurrentFetchStudy)
+	register("ablation-steal", "Ablation: steal from tail vs head of the object task queues (DASH)", stealAblation)
+	register("ablation-locality-policy", "Ablation: locality-object policy (iPSC/860, Panel Cholesky)", localityPolicyAblation)
+	register("ablation-sticky", "Extension (§5.6): scheduler less eager to move tasks off target (iPSC/860)", stickyAblation)
+	register("ablation-ordering", "Ablation: natural vs reverse Cuthill-McKee ordering (Panel Cholesky)", orderingAblation)
+	register("extension-update", "Extension (§6): eager update protocol vs demand fetch (iPSC/860, broadcast off)", updateExtension)
+	register("extension-portability", "Portability: the same programs on all three machine models (8 processors)", portabilityStudy)
+	register("ablation-panels", "Ablation: blind vs supernodal panel partitioning (Panel Cholesky)", panelsAblation)
+	register("utilization", "Processor utilization breakdown (Ocean, 8 processors)", utilizationStudy)
+}
+
+type rowMetric func(*metricsRow) float64
+
+// metricsRow wraps a run result for metric extraction.
+type metricsRow struct {
+	exec, taskExec, locality, comm, mgmt float64
+}
+
+func localityMetric(r *metricsRow) float64 { return r.locality }
+func taskExecMetric(r *metricsRow) float64 { return r.taskExec }
+func commCompMetric(r *metricsRow) float64 { return r.comm }
+
+// serialTable builds Table 1/6: serial and stripped times per app.
+func serialTable(id string, scale Scale, speed float64) *Result {
+	head := []string{""}
+	serialRow := []string{"Serial"}
+	strippedRow := []string{"Stripped"}
+	for _, a := range allApps {
+		head = append(head, a.name)
+		serialRow = append(serialRow, table.Cell(a.serialWork(scale)*speed))
+		strippedRow = append(strippedRow, table.Cell(a.strippedWork(scale)*speed))
+	}
+	return &Result{ID: id, Title: registry[id].Title, Head: head,
+		Rows: [][]string{serialRow, strippedRow},
+		Notes: "modeled from operation counts of the two code paths " +
+			"(original vs Jade data structures), scaled by the machine's processor speed"}
+}
+
+// dashExecTable builds Tables 2–5.
+func dashExecTable(id string, a *appSpec, scale Scale) *Result {
+	var rows [][]string
+	for _, level := range dashLevels(a) {
+		vals := make([]float64, len(Procs))
+		for i, p := range Procs {
+			vals[i] = dashRun(a, scale, p, level, false).ExecTime
+		}
+		rows = append(rows, sweepRow(level.String(), vals))
+	}
+	return &Result{ID: id, Title: registry[id].Title, Head: procHead("level \\ procs"), Rows: rows}
+}
+
+// ipscExecTable builds Tables 7–10 (baseline: broadcast + replication
+// + concurrent fetch on, latency hiding off).
+func ipscExecTable(id string, a *appSpec, scale Scale) *Result {
+	var rows [][]string
+	for _, level := range ipscLevels(a) {
+		vals := make([]float64, len(Procs))
+		for i, p := range Procs {
+			vals[i] = ipscRun(a, scale, p, level, false, nil).ExecTime
+		}
+		rows = append(rows, sweepRow(level.String(), vals))
+	}
+	return &Result{ID: id, Title: registry[id].Title, Head: procHead("level \\ procs"), Rows: rows}
+}
+
+// broadcastTable builds Tables 11–14: adaptive broadcast on/off at the
+// app's highest locality level.
+func broadcastTable(id string, a *appSpec, scale Scale) *Result {
+	level := ipsc.Locality
+	if a.hasPlacement {
+		level = ipsc.TaskPlacement
+	}
+	var rows [][]string
+	for _, ab := range []bool{true, false} {
+		label := "Adaptive Broadcast"
+		if !ab {
+			label = "No Adaptive Broadcast"
+		}
+		ab := ab
+		vals := make([]float64, len(Procs))
+		for i, p := range Procs {
+			vals[i] = ipscRun(a, scale, p, level, false,
+				func(c *ipsc.Config) { c.AdaptiveBroadcast = ab }).ExecTime
+		}
+		rows = append(rows, sweepRow(label, vals))
+	}
+	return &Result{ID: id, Title: registry[id].Title, Head: procHead("variant \\ procs"), Rows: rows}
+}
+
+// dashMetricFigure builds Figures 2–9.
+func dashMetricFigure(id string, a *appSpec, scale Scale, ylabel string, metric rowMetric) *Result {
+	var rows [][]string
+	var labels []string
+	var series [][]float64
+	for _, level := range dashLevels(a) {
+		vals := make([]float64, len(Procs))
+		for i, p := range Procs {
+			r := dashRun(a, scale, p, level, false)
+			vals[i] = metric(&metricsRow{
+				exec: r.ExecTime, taskExec: r.TaskExecTotal,
+				locality: r.LocalityPct(), comm: r.CommCompRatio(),
+			})
+		}
+		labels = append(labels, level.String())
+		series = append(series, vals)
+		rows = append(rows, sweepRow(level.String(), vals))
+	}
+	return &Result{ID: id, Title: registry[id].Title, Head: procHead("level \\ procs"),
+		Rows: rows, Plot: plotOf(registry[id].Title, ylabel, labels, series)}
+}
+
+// ipscMetricFigure builds Figures 12–19.
+func ipscMetricFigure(id string, a *appSpec, scale Scale, ylabel string, metric rowMetric) *Result {
+	var rows [][]string
+	var labels []string
+	var series [][]float64
+	for _, level := range ipscLevels(a) {
+		vals := make([]float64, len(Procs))
+		for i, p := range Procs {
+			r := ipscRun(a, scale, p, level, false, nil)
+			vals[i] = metric(&metricsRow{
+				exec: r.ExecTime, taskExec: r.TaskExecTotal,
+				locality: r.LocalityPct(), comm: r.CommCompRatio(),
+			})
+		}
+		labels = append(labels, level.String())
+		series = append(series, vals)
+		rows = append(rows, sweepRow(level.String(), vals))
+	}
+	return &Result{ID: id, Title: registry[id].Title, Head: procHead("level \\ procs"),
+		Rows: rows, Plot: plotOf(registry[id].Title, ylabel, labels, series)}
+}
+
+// mgmtFigure builds Figures 10/11/20/21: the work-free execution time
+// as a percentage of the full run at the Task Placement level.
+func mgmtFigure(id string, a *appSpec, scale Scale, onDash bool) *Result {
+	vals := make([]float64, len(Procs))
+	for i, p := range Procs {
+		var full, free float64
+		if onDash {
+			full = dashRun(a, scale, p, dash.TaskPlacement, false).ExecTime
+			free = dashRun(a, scale, p, dash.TaskPlacement, true).ExecTime
+		} else {
+			full = ipscRun(a, scale, p, ipsc.TaskPlacement, false, nil).ExecTime
+			free = ipscRun(a, scale, p, ipsc.TaskPlacement, true, nil).ExecTime
+		}
+		if full > 0 {
+			vals[i] = 100 * free / full
+		}
+	}
+	rows := [][]string{sweepRow("Task Placement", vals)}
+	return &Result{ID: id, Title: registry[id].Title, Head: procHead("level \\ procs"),
+		Rows: rows, Plot: plotOf(registry[id].Title, "task mgmt %", []string{"Task Placement"}, [][]float64{vals})}
+}
+
+// replicationStudy quantifies §5.1: read sharing and replicated
+// copies per application.
+func replicationStudy(scale Scale) *Result {
+	head := []string{"application", "tasks", "object msgs", "replicated reads", "broadcasts"}
+	var rows [][]string
+	for _, a := range allApps {
+		r := ipscRun(a, scale, 8, ipsc.Locality, false, nil)
+		rows = append(rows, []string{a.name,
+			fmt.Sprint(r.TaskCount), fmt.Sprint(r.MsgCount),
+			fmt.Sprint(r.ReplicatedReads), fmt.Sprint(r.BroadcastCount)})
+	}
+	return &Result{ID: "sec5.1", Title: registry["sec5.1"].Title, Head: head, Rows: rows,
+		Notes: "every application reads at least one object on all processors; " +
+			"without replication those reads would serialize (§5.1)"}
+}
+
+// latencyHidingStudy reproduces §5.4: Panel Cholesky with the target
+// number of tasks per processor set to one (off) and two (on).
+func latencyHidingStudy(scale Scale) *Result {
+	var rows [][]string
+	for _, target := range []int{1, 2} {
+		target := target
+		vals := make([]float64, len(Procs))
+		for i, p := range Procs {
+			vals[i] = ipscRun(choleskyApp, scale, p, ipsc.Locality, false,
+				func(c *ipsc.Config) { c.TargetTasks = target }).ExecTime
+		}
+		rows = append(rows, sweepRow(fmt.Sprintf("target tasks = %d", target), vals))
+	}
+	return &Result{ID: "sec5.4", Title: registry["sec5.4"].Title,
+		Head: procHead("variant \\ procs"), Rows: rows,
+		Notes: "the paper found virtually no effect; see EXPERIMENTS.md for the analysis"}
+}
+
+// concurrentFetchStudy reproduces §5.5: the ratio of object latency to
+// task latency at the highest locality optimization level.
+func concurrentFetchStudy(scale Scale) *Result {
+	head := []string{"application", "object msgs", "object/task latency ratio"}
+	var rows [][]string
+	for _, a := range allApps {
+		level := ipsc.Locality
+		if a.hasPlacement {
+			level = ipsc.TaskPlacement
+		}
+		r := ipscRun(a, scale, 8, level, false, nil)
+		rows = append(rows, []string{a.name, fmt.Sprint(r.MsgCount),
+			table.Cell(r.ObjectToTaskLatencyRatio())})
+	}
+	return &Result{ID: "sec5.5", Title: registry["sec5.5"].Title, Head: head, Rows: rows,
+		Notes: "a ratio near one means almost all tasks fetch at most one remote object " +
+			"per communication point, so there is nothing to parallelize (§5.5)"}
+}
+
+// panelsAblation compares blind fixed-width panels with
+// supernode-aligned panels for Panel Cholesky on the iPSC model.
+func panelsAblation(scale Scale) *Result {
+	head := []string{"partitioning", "panels", "tasks", "exec 8p (s)", "exec 32p (s)"}
+	var rows [][]string
+	for _, super := range []bool{false, true} {
+		label := "fixed width (paper)"
+		if super {
+			label = "supernode-aligned"
+		}
+		cfg := choleskyCfg(scale)
+		cfg.Supernodal = super
+		w := cholesky.NewWorkload(cfg)
+		run := func(p int) float64 {
+			m := ipsc.New(ipsc.DefaultConfig(p, ipsc.Locality))
+			rt := jade.New(m, jade.Config{})
+			cholesky.Run(rt, cfg, w)
+			return rt.Finish().ExecTime
+		}
+		rows = append(rows, []string{label,
+			fmt.Sprint(w.Sym.NumPanels()), fmt.Sprint(cholesky.TaskCount(w)),
+			table.Cell(run(8)), table.Cell(run(32))})
+	}
+	return &Result{ID: "ablation-panels", Title: registry["ablation-panels"].Title,
+		Head: head, Rows: rows}
+}
+
+// utilizationStudy reports the per-processor busy fraction for Ocean
+// at the Task Placement level on both machines — the view behind the
+// task-management figures: the main processor is busy managing while
+// the workers compute.
+func utilizationStudy(scale Scale) *Result {
+	head := []string{"machine"}
+	for i := 0; i < 8; i++ {
+		head = append(head, fmt.Sprintf("p%d", i))
+	}
+	var rows [][]string
+	d := dashRun(oceanApp, scale, 8, dash.TaskPlacement, false)
+	i := ipscRun(oceanApp, scale, 8, ipsc.TaskPlacement, false, nil)
+	for _, v := range []struct {
+		name string
+		u    []float64
+	}{{"DASH", d.Utilization()}, {"iPSC/860", i.Utilization()}} {
+		row := []string{v.name}
+		for _, f := range v.u {
+			row = append(row, fmt.Sprintf("%.0f%%", 100*f))
+		}
+		rows = append(rows, row)
+	}
+	return &Result{ID: "utilization", Title: registry["utilization"].Title,
+		Head: head, Rows: rows,
+		Notes: "p0 is the main processor: task creation/assignment/completion handling " +
+			"keep it busy while it executes no application tasks at this level"}
+}
+
+// portabilityStudy runs every application, unmodified, on the three
+// simulated platforms — the paper's portability claim made
+// measurable. The heterogeneous cluster row also compares naive vs
+// speed-aware scheduling.
+func portabilityStudy(scale Scale) *Result {
+	head := []string{"application", "DASH (s)", "iPSC/860 (s)", "cluster (s)", "cluster speed-aware (s)"}
+	var rows [][]string
+	for _, a := range allApps {
+		dashT := dashRun(a, scale, 8, dash.Locality, false).ExecTime
+		ipscT := ipscRun(a, scale, 8, ipsc.Locality, false, nil).ExecTime
+		clusterT := clusterRun(a, scale, 8, false).ExecTime
+		awareT := clusterRun(a, scale, 8, true).ExecTime
+		rows = append(rows, []string{a.name,
+			table.Cell(dashT), table.Cell(ipscT), table.Cell(clusterT), table.Cell(awareT)})
+	}
+	return &Result{ID: "extension-portability", Title: registry["extension-portability"].Title,
+		Head: head, Rows: rows,
+		Notes: "identical program text on every platform; the cluster's shared 10 Mbit/s " +
+			"medium and heterogeneous (1.25x/0.6x) workstations shift the tradeoffs"}
+}
+
+// stealAblation compares tail-stealing (the paper's design) with
+// head-stealing on DASH for Panel Cholesky.
+func stealAblation(scale Scale) *Result {
+	run := func(fromHead bool, p int) float64 {
+		m := dash.New(dash.DefaultConfig(p, dash.Locality))
+		m.StealFromHead = fromHead
+		rt := newDashRuntime(m)
+		choleskyApp.run(rt, scale, false)
+		return rt.Finish().ExecTime
+	}
+	var rows [][]string
+	for _, fromHead := range []bool{false, true} {
+		label := "steal last of last OTQ (paper)"
+		if fromHead {
+			label = "steal first of first OTQ"
+		}
+		vals := make([]float64, len(Procs))
+		for i, p := range Procs {
+			vals[i] = run(fromHead, p)
+		}
+		rows = append(rows, sweepRow(label, vals))
+	}
+	return &Result{ID: "ablation-steal", Title: registry["ablation-steal"].Title,
+		Head: procHead("variant \\ procs"), Rows: rows}
+}
+
+// localityPolicyAblation compares locality-object policies.
+func localityPolicyAblation(scale Scale) *Result {
+	policies := []struct {
+		label  string
+		policy int
+	}{
+		{"first declared access (paper)", 0},
+		{"largest declared object", 1},
+		{"first written object", 2},
+	}
+	var rows [][]string
+	for _, pol := range policies {
+		pol := pol
+		vals := make([]float64, len(Procs))
+		locs := make([]float64, len(Procs))
+		for i, p := range Procs {
+			r := ipscRunWithPolicy(choleskyApp, scale, p, pol.policy)
+			vals[i] = r.ExecTime
+			locs[i] = r.LocalityPct()
+		}
+		rows = append(rows, sweepRow(pol.label+" [time]", vals))
+		rows = append(rows, sweepRow(pol.label+" [loc%]", locs))
+	}
+	return &Result{ID: "ablation-locality-policy", Title: registry["ablation-locality-policy"].Title,
+		Head: procHead("variant \\ procs"), Rows: rows}
+}
+
+// orderingAblation compares the natural grid ordering with reverse
+// Cuthill-McKee: fill, modeled flops, and execution time at the
+// Locality level on the iPSC model.
+func orderingAblation(scale Scale) *Result {
+	head := []string{"ordering", "nnz(L)", "modeled serial s", "exec 8p (s)", "exec 32p (s)"}
+	var rows [][]string
+	for _, rcm := range []bool{false, true} {
+		label := "natural (default)"
+		if rcm {
+			label = "reverse Cuthill-McKee"
+		}
+		cfg := choleskyCfg(scale)
+		cfg.UseRCM = rcm
+		w := cholesky.NewWorkload(cfg)
+		run := func(p int) float64 {
+			m := ipsc.New(ipsc.DefaultConfig(p, ipsc.Locality))
+			rt := jade.New(m, jade.Config{})
+			cholesky.Run(rt, cfg, w)
+			return rt.Finish().ExecTime
+		}
+		rows = append(rows, []string{label,
+			fmt.Sprint(w.Sym.NNZL()),
+			table.Cell(cholesky.SerialWorkSec(cfg, w)),
+			table.Cell(run(8)), table.Cell(run(32))})
+	}
+	return &Result{ID: "ablation-ordering", Title: registry["ablation-ordering"].Title,
+		Head: head, Rows: rows,
+		Notes: "the paper's BCSSTK15 runs use a pre-ordered matrix; ordering changes the " +
+			"panel dependence structure and the total work"}
+}
+
+// updateExtension evaluates the §6 eager-update protocol against
+// demand fetching with adaptive broadcast disabled, per application.
+func updateExtension(scale Scale) *Result {
+	head := []string{"application", "demand 16p (s)", "update 16p (s)", "demand MB", "update MB"}
+	var rows [][]string
+	for _, a := range allApps {
+		level := ipsc.Locality
+		if a.hasPlacement {
+			level = ipsc.TaskPlacement
+		}
+		run := func(update bool) *metrics.Run {
+			return ipscRun(a, scale, 16, level, false, func(c *ipsc.Config) {
+				c.AdaptiveBroadcast = false
+				c.EagerUpdate = update
+			})
+		}
+		demand := run(false)
+		upd := run(true)
+		rows = append(rows, []string{a.name,
+			table.Cell(demand.ExecTime), table.Cell(upd.ExecTime),
+			table.Cell(float64(demand.MsgBytes) / 1e6), table.Cell(float64(upd.MsgBytes) / 1e6)})
+	}
+	return &Result{ID: "extension-update", Title: registry["extension-update"].Title,
+		Head: head, Rows: rows,
+		Notes: "§6: the update protocol worked well for the regular applications but " +
+			"generated excessive communication for the others"}
+}
+
+// stickyAblation evaluates the §5.6 suggestion of a scheduler less
+// eager to move tasks off their target processor.
+func stickyAblation(scale Scale) *Result {
+	var rows [][]string
+	for _, a := range []*appSpec{oceanApp, choleskyApp} {
+		for _, sticky := range []bool{false, true} {
+			sticky := sticky
+			label := a.name + " eager (paper)"
+			if sticky {
+				label = a.name + " sticky target"
+			}
+			vals := make([]float64, len(Procs))
+			locs := make([]float64, len(Procs))
+			for i, p := range Procs {
+				r := ipscRun(a, scale, p, ipsc.Locality, false,
+					func(c *ipsc.Config) { c.StickyTarget = sticky })
+				vals[i] = r.ExecTime
+				locs[i] = r.LocalityPct()
+			}
+			rows = append(rows, sweepRow(label+" [time]", vals))
+			rows = append(rows, sweepRow(label+" [loc%]", locs))
+		}
+	}
+	return &Result{ID: "ablation-sticky", Title: registry["ablation-sticky"].Title,
+		Head: procHead("variant \\ procs"), Rows: rows}
+}

@@ -1,0 +1,209 @@
+// Package experiments contains one driver per table and figure in the
+// paper's evaluation section (§5). Each driver builds the application
+// at the requested scale, sweeps processor counts and optimization
+// levels on the simulated machines, and returns the same rows/series
+// the paper reports. cmd/jadebench and the repository benchmarks are
+// thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/dash"
+	"repro/internal/ipsc"
+	"repro/internal/jade"
+	"repro/internal/metrics"
+	"repro/internal/table"
+)
+
+// Scale selects the workload size.
+type Scale string
+
+const (
+	// Small is the CI-friendly default scale.
+	Small Scale = "small"
+	// PaperScale uses the paper's data-set sizes.
+	PaperScale Scale = "paper"
+)
+
+// Procs is the paper's processor sweep.
+var Procs = []int{1, 2, 4, 8, 16, 24, 32}
+
+// Result is a regenerated table or figure.
+type Result struct {
+	ID    string
+	Title string
+	Head  []string
+	Rows  [][]string
+	Plot  *table.Plot
+	Notes string
+}
+
+// Render writes the result as text.
+func (r *Result) Render(w *strings.Builder) {
+	t := &table.Table{Title: fmt.Sprintf("%s: %s", r.ID, r.Title), Head: r.Head, Rows: r.Rows}
+	t.Render(w)
+	if r.Plot != nil {
+		w.WriteString("\n")
+		r.Plot.Render(w)
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(w, "  note: %s\n", r.Notes)
+	}
+}
+
+// Markdown renders the result as a markdown table.
+func (r *Result) Markdown(w *strings.Builder) {
+	fmt.Fprintf(w, "### %s — %s\n\n", r.ID, r.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(r.Head, " | "))
+	seps := make([]string, len(r.Head))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "|%s|\n", strings.Join(seps, "|"))
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(w, "\n%s\n", r.Notes)
+	}
+	w.WriteString("\n")
+}
+
+// Experiment is a registered driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(scale Scale) *Result
+}
+
+var registry = map[string]*Experiment{}
+var order []string
+
+func register(id, title string, run func(scale Scale) *Result) {
+	registry[id] = &Experiment{ID: id, Title: title, Run: run}
+	order = append(order, id)
+}
+
+// IDs returns all experiment IDs in registration (paper) order.
+func IDs() []string { return append([]string(nil), order...) }
+
+// Get returns the experiment with the given ID.
+func Get(id string) (*Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		known := append([]string(nil), order...)
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(known, ", "))
+	}
+	return e, nil
+}
+
+// Run executes the experiment with the given ID at the given scale.
+func Run(id string, scale Scale) (*Result, error) {
+	e, err := Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(scale), nil
+}
+
+// ---- shared runners ----
+
+// dashRun executes one app on the DASH model.
+func dashRun(a *appSpec, scale Scale, procs int, level dash.LocalityLevel, workFree bool) *metrics.Run {
+	m := dash.New(dash.DefaultConfig(procs, level))
+	rt := jade.New(m, jade.Config{WorkFree: workFree})
+	a.run(rt, scale, level == dash.TaskPlacement && a.hasPlacement)
+	return rt.Finish()
+}
+
+// ipscRun executes one app on the iPSC model with a config hook.
+func ipscRun(a *appSpec, scale Scale, procs int, level ipsc.LocalityLevel, workFree bool, mod func(*ipsc.Config)) *metrics.Run {
+	cfg := ipsc.DefaultConfig(procs, level)
+	if mod != nil {
+		mod(&cfg)
+	}
+	m := ipsc.New(cfg)
+	rt := jade.New(m, jade.Config{WorkFree: workFree})
+	a.run(rt, scale, level == ipsc.TaskPlacement && a.hasPlacement)
+	return rt.Finish()
+}
+
+// dashLevels returns the locality levels an app is evaluated at on
+// DASH, highest first (matching the paper's table row order).
+func dashLevels(a *appSpec) []dash.LocalityLevel {
+	if a.hasPlacement {
+		return []dash.LocalityLevel{dash.TaskPlacement, dash.Locality, dash.NoLocality}
+	}
+	return []dash.LocalityLevel{dash.Locality, dash.NoLocality}
+}
+
+func ipscLevels(a *appSpec) []ipsc.LocalityLevel {
+	if a.hasPlacement {
+		return []ipsc.LocalityLevel{ipsc.TaskPlacement, ipsc.Locality, ipsc.NoLocality}
+	}
+	return []ipsc.LocalityLevel{ipsc.Locality, ipsc.NoLocality}
+}
+
+// procHead builds the "level, 1, 2, 4, ..." table header.
+func procHead(first string) []string {
+	head := []string{first}
+	for _, p := range Procs {
+		head = append(head, fmt.Sprint(p))
+	}
+	return head
+}
+
+// sweepRow formats one row of a processor sweep.
+func sweepRow(label string, vals []float64) []string {
+	row := []string{label}
+	for _, v := range vals {
+		row = append(row, table.Cell(v))
+	}
+	return row
+}
+
+// plotOf builds an ASCII figure from sweep rows.
+func plotOf(title, ylabel string, labels []string, series [][]float64) *table.Plot {
+	markers := []byte{'*', 'o', '+', 'x', '#'}
+	p := &table.Plot{Title: title, XLabel: "processors", YLabel: ylabel}
+	for i, lab := range labels {
+		xs := make([]float64, len(Procs))
+		for k, pc := range Procs {
+			xs[k] = float64(pc)
+		}
+		p.Series = append(p.Series, table.Series{
+			Label: lab, X: xs, Y: series[i], Marker: markers[i%len(markers)],
+		})
+	}
+	return p
+}
+
+// clusterRun executes one app on the workstation-cluster model.
+func clusterRun(a *appSpec, scale Scale, stations int, speedAware bool) *metrics.Run {
+	cfg := cluster.DefaultConfig(stations)
+	cfg.SpeedAware = speedAware
+	m := cluster.New(cfg)
+	rt := jade.New(m, jade.Config{})
+	a.run(rt, scale, false)
+	return rt.Finish()
+}
+
+// newDashRuntime binds a fresh runtime to a pre-configured DASH
+// machine (used by ablations that tweak machine fields after New).
+func newDashRuntime(m *dash.Machine) *jade.Runtime {
+	return jade.New(m, jade.Config{})
+}
+
+// ipscRunWithPolicy runs an app on the iPSC model under an alternate
+// locality-object policy.
+func ipscRunWithPolicy(a *appSpec, scale Scale, procs int, policy int) *metrics.Run {
+	m := ipsc.New(ipsc.DefaultConfig(procs, ipsc.Locality))
+	rt := jade.New(m, jade.Config{Locality: jade.LocalityPolicy(policy)})
+	a.run(rt, scale, false)
+	return rt.Finish()
+}

@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cell(t *testing.T, res *Result, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(res.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("%s[%d][%d] = %q not numeric: %v", res.ID, row, col, res.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table (1–14) and figure (2–21) of the paper must be
+	// registered, plus the three §5.x studies.
+	want := []string{}
+	for i := 1; i <= 14; i++ {
+		want = append(want, "table"+strconv.Itoa(i))
+	}
+	for i := 2; i <= 21; i++ {
+		want = append(want, "fig"+strconv.Itoa(i))
+	}
+	want = append(want, "sec5.1", "sec5.4", "sec5.5")
+	for _, id := range want {
+		if _, err := Get(id); err != nil {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("tableX", Small); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Run("table1", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(res.Rows[0]) != 5 {
+		t.Fatalf("table1 shape %dx%d, want 2x5", len(res.Rows), len(res.Rows[0]))
+	}
+	for col := 1; col <= 4; col++ {
+		if cell(t, res, 0, col) <= 0 {
+			t.Fatalf("nonpositive serial time in column %d", col)
+		}
+	}
+}
+
+func TestTable2WaterSpeedsUp(t *testing.T) {
+	res, err := Run("table2", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := cell(t, res, 0, 1)
+	last := cell(t, res, 0, len(Procs))
+	if !(last < one/4) {
+		t.Fatalf("Water on DASH shows no speedup: 1p=%v 32p=%v", one, last)
+	}
+}
+
+func TestTable4LevelsOrdered(t *testing.T) {
+	res, err := Run("table4", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 32 processors (last column) No Locality must not beat Task
+	// Placement (the paper's headline ordering for Ocean).
+	place := cell(t, res, 0, len(Procs))
+	nolocal := cell(t, res, 2, len(Procs))
+	if nolocal < place {
+		t.Fatalf("No Locality (%v) beat Task Placement (%v) for Ocean on DASH", nolocal, place)
+	}
+}
+
+func TestTable11BroadcastHelpsWaterAtScale(t *testing.T) {
+	res, err := Run("table11", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := cell(t, res, 0, len(Procs))
+	noab := cell(t, res, 1, len(Procs))
+	if !(ab < noab) {
+		t.Fatalf("adaptive broadcast did not help Water at 32 procs: %v vs %v", ab, noab)
+	}
+}
+
+func TestTable13DegenerateSingleProcessor(t *testing.T) {
+	res, err := Run("table13", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := cell(t, res, 0, 1)
+	noab := cell(t, res, 1, 1)
+	if !(ab > noab) {
+		t.Fatalf("single-processor Ocean should be slower with adaptive broadcast (§5.3): %v vs %v", ab, noab)
+	}
+}
+
+func TestFig2WaterLocalityIsFull(t *testing.T) {
+	res, err := Run("fig2", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locality row: 100% at small processor counts (paper: 100% everywhere).
+	for col := 1; col <= 4; col++ {
+		if v := cell(t, res, 0, col); v < 99 {
+			t.Fatalf("Water locality at %s procs = %v, want ~100", res.Head[col], v)
+		}
+	}
+	// No Locality decays with processors.
+	if !(cell(t, res, 1, len(Procs)) < cell(t, res, 1, 2)) {
+		t.Fatal("No Locality row does not decay")
+	}
+}
+
+func TestFig12WaterIpscLocalityFull(t *testing.T) {
+	res, err := Run("fig12", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := 1; col <= len(Procs); col++ {
+		if v := cell(t, res, 0, col); v != 100 {
+			t.Fatalf("Water iPSC locality at %s procs = %v, want 100", res.Head[col], v)
+		}
+	}
+}
+
+func TestFig10MgmtGrows(t *testing.T) {
+	res, err := Run("fig10", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := cell(t, res, 0, 2)
+	high := cell(t, res, 0, len(Procs))
+	if !(high > low) {
+		t.Fatalf("Ocean task management %% should grow with processors: 2p=%v 32p=%v", low, high)
+	}
+	if res.Plot == nil {
+		t.Fatal("figure result missing plot")
+	}
+}
+
+func TestFig16CommRatioDecaysWithLocality(t *testing.T) {
+	res, err := Run("fig16", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Water's comm/comp at 32 procs: Locality row below No Locality row.
+	loc := cell(t, res, 0, len(Procs))
+	noloc := cell(t, res, 1, len(Procs))
+	if !(loc < noloc) {
+		t.Fatalf("locality did not reduce Water comm/comp: %v vs %v", loc, noloc)
+	}
+}
+
+func TestSec55RatiosNearOne(t *testing.T) {
+	res, err := Run("sec5.5", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		r := cell(t, res, i, 2)
+		if r < 0.99 || r > 2.5 {
+			t.Fatalf("%s object/task latency ratio %v out of the expected band", res.Rows[i][0], r)
+		}
+	}
+}
+
+func TestRenderAndMarkdown(t *testing.T) {
+	res, err := Run("table1", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "table1") {
+		t.Fatal("render missing title")
+	}
+	var md strings.Builder
+	res.Markdown(&md)
+	if !strings.Contains(md.String(), "| Water |") && !strings.Contains(md.String(), "Water") {
+		t.Fatal("markdown missing app column")
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a, _ := Run("table5", Small)
+	b, _ := Run("table5", Small)
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("nondeterministic cell [%d][%d]: %s vs %s", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestIDsOrdered(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 37 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	if ids[0] != "table1" {
+		t.Fatalf("first experiment %s, want table1", ids[0])
+	}
+}
+
+func TestAblationStickyImprovesCholesky(t *testing.T) {
+	res, err := Run("ablation-sticky", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: ocean eager time/loc, ocean sticky time/loc, cholesky
+	// eager time/loc, cholesky sticky time/loc.
+	eagerLoc := cell(t, res, 5, len(Procs))
+	stickyLoc := cell(t, res, 7, len(Procs))
+	if stickyLoc < eagerLoc {
+		t.Fatalf("sticky target lowered Cholesky locality: %v -> %v", eagerLoc, stickyLoc)
+	}
+}
+
+func TestExtensionUpdateIncreasesTraffic(t *testing.T) {
+	res, err := Run("extension-update", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ocean row (index 2): update MB > demand MB (§6's excessive
+	// communication).
+	demand := cell(t, res, 2, 3)
+	update := cell(t, res, 2, 4)
+	if !(update > demand) {
+		t.Fatalf("update protocol did not increase Ocean traffic: %v vs %v", demand, update)
+	}
+}
+
+func TestPortabilityRunsAllPlatforms(t *testing.T) {
+	res, err := Run("extension-portability", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("portability rows = %d, want 4 apps", len(res.Rows))
+	}
+	for i := range res.Rows {
+		for col := 1; col <= 4; col++ {
+			if cell(t, res, i, col) <= 0 {
+				t.Fatalf("nonpositive time at row %d col %d", i, col)
+			}
+		}
+	}
+}
+
+func TestUtilizationMainProcessorLight(t *testing.T) {
+	res, err := Run("utilization", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At Task Placement, Ocean omits the main processor: p0's
+	// utilization must be below every worker's on both machines.
+	pct := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		if err != nil {
+			t.Fatalf("bad utilization cell %q", cell)
+		}
+		return v
+	}
+	for _, row := range res.Rows {
+		p0 := pct(row[1])
+		for col := 2; col < len(row); col++ {
+			if pct(row[col]) < p0 {
+				t.Fatalf("%s: worker %d (%s) below main (%.0f%%)", row[0], col-1, row[col], p0)
+			}
+		}
+	}
+}
+
+func TestOrderingAblationReportsFill(t *testing.T) {
+	res, err := Run("ablation-ordering", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if cell(t, res, 0, 1) <= 0 || cell(t, res, 1, 1) <= 0 {
+		t.Fatal("nnz(L) missing")
+	}
+}
+
+func TestPanelsAblationTaskCounts(t *testing.T) {
+	res, err := Run("ablation-panels", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind := cell(t, res, 0, 2)
+	super := cell(t, res, 1, 2)
+	if blind <= 0 || super <= 0 {
+		t.Fatal("task counts missing")
+	}
+}
+
+func TestSec54NoEffectAtScale(t *testing.T) {
+	res, err := Run("sec5.4", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: virtually no effect. Allow 15% either way at 32 procs.
+	t1 := cell(t, res, 0, len(Procs))
+	t2 := cell(t, res, 1, len(Procs))
+	ratio := t2 / t1
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("latency hiding changed Cholesky by %.0f%% at 32p", 100*(ratio-1))
+	}
+}

@@ -1,0 +1,492 @@
+package ipsc
+
+import (
+	"testing"
+
+	"repro/internal/jade"
+)
+
+func newRT(procs int, level LocalityLevel) (*jade.Runtime, *Machine) {
+	m := New(DefaultConfig(procs, level))
+	rt := jade.New(m, jade.Config{})
+	return rt, m
+}
+
+func TestSingleProcessorCorrectness(t *testing.T) {
+	rt, _ := newRT(1, Locality)
+	o := rt.Alloc("x", 64, new(int))
+	v := o.Data.(*int)
+	for i := 0; i < 10; i++ {
+		rt.WithOnly(func(s *jade.Spec) { s.RdWr(o) }, 1e-3, func() { *v++ })
+	}
+	res := rt.Finish()
+	if *v != 10 {
+		t.Fatalf("v = %d, want 10", *v)
+	}
+	if res.TaskCount != 10 {
+		t.Fatalf("TaskCount = %d, want 10", res.TaskCount)
+	}
+}
+
+func TestIndependentTasksSpeedUp(t *testing.T) {
+	run := func(procs int) float64 {
+		rt, _ := newRT(procs, Locality)
+		objs := make([]*jade.Object, 32)
+		for i := range objs {
+			objs[i] = rt.Alloc("o", 64, nil)
+		}
+		for _, o := range objs {
+			o := o
+			rt.WithOnly(func(s *jade.Spec) { s.Wr(o) }, 20e-3, func() {})
+		}
+		return rt.Finish().ExecTime
+	}
+	t1 := run(1)
+	t8 := run(8)
+	if t8 >= t1/3 {
+		t.Fatalf("no speedup: 1p=%v 8p=%v", t1, t8)
+	}
+}
+
+func TestRemoteFetchCountsMessages(t *testing.T) {
+	rt, _ := newRT(2, TaskPlacement)
+	big := rt.Alloc("big", 1<<16, nil)
+	anchor := rt.Alloc("anchor", 16, nil)
+	// Writer takes ownership on processor 1; a second task on
+	// processor 0 must then fetch the object.
+	rt.WithOnly(func(s *jade.Spec) { s.Wr(big) }, 1e-3, func() {}, jade.PlaceOn(1))
+	rt.Wait()
+	rt.WithOnly(func(s *jade.Spec) { s.Wr(anchor); s.Rd(big) }, 1e-3, func() {}, jade.PlaceOn(0))
+	res := rt.Finish()
+	if res.MsgBytes < 1<<16 {
+		t.Fatalf("MsgBytes = %d, want at least the object size %d", res.MsgBytes, 1<<16)
+	}
+	if res.MsgCount < 1 {
+		t.Fatal("no object messages counted")
+	}
+}
+
+func TestPlacementLevelHonorsPlaceOn(t *testing.T) {
+	m := New(DefaultConfig(4, TaskPlacement))
+	rt := jade.New(m, jade.Config{})
+	objs := make([]*jade.Object, 3)
+	for i := range objs {
+		objs[i] = rt.Alloc("o", 256, nil)
+	}
+	// Round-robin placement omitting main, like the paper's Ocean.
+	for round := 0; round < 4; round++ {
+		for i, o := range objs {
+			o := o
+			rt.WithOnly(func(s *jade.Spec) { s.RdWr(o) }, 1e-3, func() {}, jade.PlaceOn(1+i))
+		}
+		rt.Wait()
+	}
+	res := rt.Finish()
+	// First task per object fetches from main (owner=0), executing on
+	// its placed processor: target(owner)=0 ≠ placed, so locality is
+	// (rounds-1)/rounds — the paper's Cholesky-on-iPSC effect.
+	want := 100 * float64(3*3) / float64(4*3)
+	if got := res.LocalityPct(); got != want {
+		t.Fatalf("locality = %.1f%%, want %.1f%% (first-touch misses)", got, want)
+	}
+}
+
+func TestReplicationAllowsConcurrentReaders(t *testing.T) {
+	const procs = 8
+	rt, _ := newRT(procs, Locality)
+	shared := rt.Alloc("params", 4096, nil)
+	anchors := make([]*jade.Object, procs)
+	for i := range anchors {
+		anchors[i] = rt.Alloc("anchor", 64, nil)
+	}
+	// Producer writes the shared object; then one reader per processor.
+	rt.WithOnly(func(s *jade.Spec) { s.Wr(shared) }, 1e-3, func() {})
+	rt.Wait()
+	for i := 0; i < procs; i++ {
+		a := anchors[i]
+		rt.WithOnly(func(s *jade.Spec) { s.Wr(a); s.Rd(shared) }, 50e-3, func() {})
+	}
+	res := rt.Finish()
+	if res.ReplicatedReads == 0 {
+		t.Fatal("expected replicated read copies")
+	}
+	// The readers must overlap: total time well under serial sum.
+	if res.ExecTime > 0.5*8*50e-3 {
+		t.Fatalf("readers serialized: exec=%v", res.ExecTime)
+	}
+}
+
+func TestAdaptiveBroadcastTriggersAfterFullCoverage(t *testing.T) {
+	const procs = 4
+	cfg := DefaultConfig(procs, Locality)
+	m := New(cfg)
+	rt := jade.New(m, jade.Config{})
+	shared := rt.Alloc("model", 100000, nil)
+	anchors := make([]*jade.Object, procs)
+	for i := range anchors {
+		anchors[i] = rt.Alloc("anchor", 64, nil)
+	}
+	phases := 4
+	for ph := 0; ph < phases; ph++ {
+		for i := 0; i < procs; i++ {
+			a := anchors[i]
+			rt.WithOnly(func(s *jade.Spec) { s.Wr(a); s.Rd(shared) }, 10e-3, func() {})
+		}
+		rt.Wait()
+		rt.Serial(1e-3, func() {}, func(s *jade.Spec) { s.Wr(shared) })
+	}
+	res := rt.Finish()
+	// After phase 1 every processor accessed version 0; versions
+	// produced by later serial phases must broadcast.
+	if res.BroadcastCount < phases-1 {
+		t.Fatalf("BroadcastCount = %d, want >= %d", res.BroadcastCount, phases-1)
+	}
+}
+
+func TestAdaptiveBroadcastOffUsesSerialSends(t *testing.T) {
+	run := func(ab bool) float64 {
+		cfg := DefaultConfig(8, Locality)
+		cfg.AdaptiveBroadcast = ab
+		m := New(cfg)
+		rt := jade.New(m, jade.Config{})
+		shared := rt.Alloc("model", 200000, nil)
+		anchors := make([]*jade.Object, 8)
+		for i := range anchors {
+			anchors[i] = rt.Alloc("anchor", 64, nil)
+		}
+		for ph := 0; ph < 6; ph++ {
+			for i := 0; i < 8; i++ {
+				a := anchors[i]
+				rt.WithOnly(func(s *jade.Spec) { s.Wr(a); s.Rd(shared) }, 20e-3, func() {})
+			}
+			rt.Wait()
+			rt.Serial(1e-3, func() {}, func(s *jade.Spec) { s.Wr(shared) })
+		}
+		return rt.Finish().ExecTime
+	}
+	with := run(true)
+	without := run(false)
+	if with >= without {
+		t.Fatalf("adaptive broadcast did not help: with=%v without=%v", with, without)
+	}
+}
+
+func TestBroadcastDegeneratesOnOneProcessor(t *testing.T) {
+	// §5.3: on one processor every object flips to broadcast mode and
+	// every update pays a pointless broadcast.
+	run := func(ab bool) float64 {
+		cfg := DefaultConfig(1, Locality)
+		cfg.AdaptiveBroadcast = ab
+		m := New(cfg)
+		rt := jade.New(m, jade.Config{})
+		o := rt.Alloc("blk", 50000, nil)
+		for i := 0; i < 50; i++ {
+			rt.WithOnly(func(s *jade.Spec) { s.RdWr(o) }, 1e-3, func() {})
+		}
+		return rt.Finish().ExecTime
+	}
+	if !(run(true) > run(false)) {
+		t.Fatal("degenerate single-processor broadcast should cost time")
+	}
+}
+
+func TestLatencyHidingOverlapsFetchWithCompute(t *testing.T) {
+	// Independent tasks each fetching a distinct large object from
+	// main, all placed on processor 1: with TargetTasks=2 the fetch of
+	// the next task overlaps the current task's compute.
+	run := func(target int) float64 {
+		cfg := DefaultConfig(4, TaskPlacement)
+		cfg.TargetTasks = target
+		m := New(cfg)
+		rt := jade.New(m, jade.Config{})
+		srcs := make([]*jade.Object, 12)
+		anchors := make([]*jade.Object, 12)
+		for i := range srcs {
+			srcs[i] = rt.Alloc("src", 280000, nil) // ~100ms transfer
+			anchors[i] = rt.Alloc("anchor", 64, nil)
+		}
+		// Seed ownership of the sources on processors 2 and 3.
+		for i, o := range srcs {
+			o := o
+			rt.WithOnly(func(s *jade.Spec) { s.Wr(o) }, 1e-3, func() {}, jade.PlaceOn(2+i%2))
+		}
+		rt.Wait()
+		// All readers run on processor 1, each fetching one source.
+		for i := range srcs {
+			src, a := srcs[i], anchors[i]
+			rt.WithOnly(func(s *jade.Spec) { s.Wr(a); s.Rd(src) }, 100e-3, func() {}, jade.PlaceOn(1))
+		}
+		return rt.Finish().ExecTime
+	}
+	t1 := run(1)
+	t2 := run(2)
+	if t2 >= t1 {
+		t.Fatalf("latency hiding did not help: target1=%v target2=%v", t1, t2)
+	}
+}
+
+func TestConcurrentFetchParallelizesTransfers(t *testing.T) {
+	// A task reading several objects owned by different processors:
+	// concurrent fetch should make object latency exceed task latency.
+	build := func(cf bool) (*jade.Runtime, *Machine) {
+		cfg := DefaultConfig(4, Locality)
+		cfg.ConcurrentFetch = cf
+		m := New(cfg)
+		rt := jade.New(m, jade.Config{})
+		return rt, m
+	}
+	run := func(cf bool) (execTime, ratio float64) {
+		rt, _ := build(cf)
+		srcs := make([]*jade.Object, 3)
+		for i := range srcs {
+			srcs[i] = rt.Alloc("src", 200000, nil)
+		}
+		anchor := rt.Alloc("anchor", 64, nil)
+		// Give each source a distinct owner.
+		for i, o := range srcs {
+			o := o
+			rt.WithOnly(func(s *jade.Spec) { s.Wr(o) }, 1e-3, func() {}, jade.PlaceOn(1+i))
+		}
+		rt.Wait()
+		// Reader on processor 0 needs all three.
+		rt.WithOnly(func(s *jade.Spec) {
+			s.Wr(anchor)
+			for _, o := range srcs {
+				s.Rd(o)
+			}
+		}, 1e-3, func() {}, jade.PlaceOn(0))
+		res := rt.Finish()
+		return res.ExecTime, res.ObjectToTaskLatencyRatio()
+	}
+	_, ratioOn := run(true)
+	execOff, _ := run(false)
+	execOn, _ := run(true)
+	if ratioOn <= 1.5 {
+		t.Fatalf("object/task latency ratio = %.2f, want > 1.5 with concurrent fetch", ratioOn)
+	}
+	if execOn >= execOff {
+		t.Fatalf("concurrent fetch slower: on=%v off=%v", execOn, execOff)
+	}
+}
+
+func TestPoolPrefersTargetProcessor(t *testing.T) {
+	// More tasks than target slots: pooled tasks should drain to their
+	// target processors when those processors complete.
+	const procs = 3
+	rt, _ := newRT(procs, Locality)
+	objs := make([]*jade.Object, procs)
+	for i := range objs {
+		objs[i] = rt.Alloc("o", 128, nil)
+	}
+	// Seed ownership: one writer per object on each processor.
+	for i, o := range objs {
+		o := o
+		rt.WithOnly(func(s *jade.Spec) { s.RdWr(o) }, 1e-3, func() {}, jade.PlaceOn(i))
+	}
+	rt.Wait()
+	// Now many independent rounds per object; the scheduler should
+	// keep each object's tasks on its owner.
+	for round := 0; round < 6; round++ {
+		for _, o := range objs {
+			o := o
+			rt.WithOnly(func(s *jade.Spec) { s.RdWr(o) }, 5e-3, func() {})
+		}
+		rt.Wait()
+	}
+	res := rt.Finish()
+	if res.LocalityPct() < 80 {
+		t.Fatalf("locality = %.1f%%, want >= 80%% with target preference", res.LocalityPct())
+	}
+}
+
+func TestWorkFreeGeneratesNoCommunication(t *testing.T) {
+	m := New(DefaultConfig(4, Locality))
+	rt := jade.New(m, jade.Config{WorkFree: true})
+	o := rt.Alloc("big", 1<<20, nil)
+	for i := 0; i < 10; i++ {
+		rt.WithOnly(func(s *jade.Spec) { s.RdWr(o) }, 1.0, func() {})
+	}
+	res := rt.Finish()
+	if res.MsgBytes != 0 {
+		t.Fatalf("work-free MsgBytes = %d, want 0", res.MsgBytes)
+	}
+	if res.TaskMgmtTime <= 0 || res.ExecTime <= 0 {
+		t.Fatal("work-free run should still pay task management time")
+	}
+}
+
+func TestDeterministicExecTime(t *testing.T) {
+	run := func() float64 {
+		rt, _ := newRT(8, Locality)
+		objs := make([]*jade.Object, 24)
+		for i := range objs {
+			objs[i] = rt.Alloc("o", 4096, nil)
+		}
+		for r := 0; r < 3; r++ {
+			for _, o := range objs {
+				o := o
+				rt.WithOnly(func(s *jade.Spec) { s.RdWr(o) }, 2e-3, func() {})
+			}
+			rt.Wait()
+		}
+		return rt.Finish().ExecTime
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestNoLocalityFCFS(t *testing.T) {
+	rt, _ := newRT(4, NoLocality)
+	objs := make([]*jade.Object, 16)
+	for i := range objs {
+		objs[i] = rt.Alloc("o", 64, nil)
+	}
+	done := 0
+	for _, o := range objs {
+		o := o
+		rt.WithOnly(func(s *jade.Spec) { s.Wr(o) }, 5e-3, func() { done++ })
+	}
+	res := rt.Finish()
+	if done != 16 {
+		t.Fatalf("done = %d, want 16", done)
+	}
+	if res.TaskCount != 16 {
+		t.Fatalf("TaskCount = %d", res.TaskCount)
+	}
+}
+
+func TestStickyTargetImprovesLocality(t *testing.T) {
+	run := func(sticky bool) float64 {
+		cfg := DefaultConfig(4, Locality)
+		cfg.StickyTarget = sticky
+		m := New(cfg)
+		rt := jade.New(m, jade.Config{})
+		objs := make([]*jade.Object, 4)
+		for i := range objs {
+			objs[i] = rt.Alloc("o", 1024, nil)
+		}
+		// Seed ownership on processors 0..3.
+		for i, o := range objs {
+			o := o
+			rt.WithOnly(func(s *jade.Spec) { s.RdWr(o) }, 1e-3, func() {}, jade.PlaceOn(i))
+		}
+		rt.Wait()
+		// Skewed arrival: bursts of tasks for the same object, which
+		// the eager balancer scatters.
+		for round := 0; round < 4; round++ {
+			for _, o := range objs {
+				for k := 0; k < 3; k++ {
+					o := o
+					rt.WithOnly(func(s *jade.Spec) { s.RdWr(o) }, 2e-3, func() {})
+				}
+			}
+			rt.Wait()
+		}
+		return rt.Finish().LocalityPct()
+	}
+	if !(run(true) >= run(false)) {
+		t.Fatalf("sticky target should not lower locality: sticky=%v eager=%v", run(true), run(false))
+	}
+}
+
+func TestHypercubeHops(t *testing.T) {
+	cfg := DefaultConfig(8, Locality)
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 2, 1}, {0, 3, 2}, {0, 7, 3}, {5, 6, 2},
+	}
+	for _, c := range cases {
+		if got := cfg.hops(c.a, c.b); got != c.want {
+			t.Errorf("hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMsgLatencyGrowsWithDistance(t *testing.T) {
+	cfg := DefaultConfig(32, Locality)
+	near := cfg.msgLatency(0, 1) // 1 hop
+	far := cfg.msgLatency(0, 31) // 5 hops
+	if near != cfg.MsgLatencySec {
+		t.Fatalf("neighbor latency = %v, want base %v", near, cfg.MsgLatencySec)
+	}
+	if far <= near {
+		t.Fatalf("far latency %v not greater than near %v", far, near)
+	}
+	if want := cfg.MsgLatencySec + 4*cfg.HopLatencySec; far != want {
+		t.Fatalf("far latency = %v, want %v", far, want)
+	}
+}
+
+func TestBcastStepsLog2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 8: 3, 32: 5}
+	for procs, want := range cases {
+		cfg := DefaultConfig(procs, Locality)
+		if got := cfg.bcastSteps(); got != want {
+			t.Errorf("bcastSteps(P=%d) = %d, want %d", procs, got, want)
+		}
+	}
+}
+
+func TestEagerUpdateDeliversVersions(t *testing.T) {
+	cfg := DefaultConfig(3, TaskPlacement)
+	cfg.AdaptiveBroadcast = false
+	cfg.EagerUpdate = true
+	m := New(cfg)
+	rt := jade.New(m, jade.Config{})
+	o := rt.Alloc("x", 50000, nil)
+	a1 := rt.Alloc("a1", 64, nil)
+	a2 := rt.Alloc("a2", 64, nil)
+	// Proc 1 writes v1; proc 2 reads it (establishing proc 2 as a
+	// reader); proc 1 writes v2 — the update protocol must push v2 to
+	// proc 2 so its next read does not fetch.
+	rt.WithOnly(func(s *jade.Spec) { s.Wr(o) }, 1e-3, func() {}, jade.PlaceOn(1))
+	rt.Wait()
+	rt.WithOnly(func(s *jade.Spec) { s.Wr(a2); s.Rd(o) }, 1e-3, func() {}, jade.PlaceOn(2))
+	rt.Wait()
+	before := rt.Finish
+	_ = before
+	rt.WithOnly(func(s *jade.Spec) { s.Wr(a1); s.RdWr(o) }, 1e-3, func() {}, jade.PlaceOn(1))
+	rt.Wait()
+	msgsBefore := m.Stats().MsgCount
+	// Let the pushed update land, then read on proc 2: no new object
+	// message should be needed beyond the eager push already counted.
+	rt.WithOnly(func(s *jade.Spec) { s.RdWr(a2); s.Rd(o) }, 1e-3, func() {}, jade.PlaceOn(2))
+	res := rt.Finish()
+	extra := res.MsgCount - msgsBefore
+	if extra != 0 {
+		t.Fatalf("reader fetched %d objects despite eager update", extra)
+	}
+}
+
+func TestStagedReleaseTransfersOwnership(t *testing.T) {
+	// A staged task on processor 1 releases its first written object
+	// early; a consumer on processor 2 must fetch it from processor 1
+	// (the release published the new version) before the producer
+	// finishes its second segment.
+	cfg := DefaultConfig(3, TaskPlacement)
+	m := New(cfg)
+	rt := jade.New(m, jade.Config{})
+	first := rt.Alloc("first", 1024, new(int))
+	rest := rt.Alloc("rest", 1024, nil)
+	sink := rt.Alloc("sink", 64, nil)
+	v := first.Data.(*int)
+	rt.WithOnlyStaged(func(s *jade.Spec) { s.Wr(first); s.Wr(rest) }, []jade.Segment{
+		{Work: 5e-3, Body: func() { *v = 42 }, Release: []*jade.Object{first}},
+		{Work: 200e-3},
+	}, jade.PlaceOn(1))
+	got := 0
+	rt.WithOnly(func(s *jade.Spec) { s.Wr(sink); s.Rd(first) }, 1e-3,
+		func() { got = *v }, jade.PlaceOn(2))
+	res := rt.Finish()
+	if got != 42 {
+		t.Fatalf("consumer read %d, want 42", got)
+	}
+	// The consumer overlapped the producer's long second segment: the
+	// run must finish in well under the serial sum.
+	if res.ExecTime > 260e-3 {
+		t.Fatalf("no overlap: exec=%v", res.ExecTime)
+	}
+	if res.MsgBytes < 1024 {
+		t.Fatalf("released object was not fetched: MsgBytes=%d", res.MsgBytes)
+	}
+}

@@ -1,0 +1,617 @@
+package ipsc
+
+import (
+	"fmt"
+
+	"repro/internal/jade"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// node is one hypercube node: a CPU that executes tasks (and, on node
+// 0, the main program and the centralized scheduler) and a NIC that
+// serializes outgoing messages. Interrupt-driven protocol work (object
+// replies) costs NIC time but does not occupy the CPU, matching the
+// NX/2 handler model.
+type node struct {
+	cpu *sim.Processor
+	nic *sim.Processor
+	// store maps object ID to the version this node holds a copy of.
+	store map[jade.ObjectID]jade.Version
+	// load is the number of tasks assigned and not yet completed
+	// (maintained by the scheduler on node 0).
+	load int
+}
+
+// taskState is the scheduler/communicator bookkeeping for one task.
+type taskState struct {
+	t      *jade.Task
+	target int // owner of the locality object at scheduling time
+	proc   int // node it was assigned to
+	// needed counts outstanding object fetches.
+	needed int
+	// fetch latency accounting (§5.5).
+	firstReq   sim.Time
+	lastArrive sim.Time
+	reqCount   int
+	// releasedEarly records objects whose writes were already
+	// produced at a segment boundary, so completion skips them.
+	releasedEarly map[jade.ObjectID]bool
+}
+
+// objState tracks ownership, the access set for adaptive-broadcast
+// detection, and broadcast mode for one object.
+type objState struct {
+	owner      int
+	version    jade.Version
+	accessedBy map[int]bool
+	broadcast  bool
+}
+
+// Machine is the iPSC/860-style message-passing platform implementing
+// jade.Platform.
+type Machine struct {
+	cfg Config
+	eng *sim.Engine
+	rt  *jade.Runtime
+
+	nodes []*node
+	objs  map[jade.ObjectID]*objState
+
+	// pool holds enabled tasks awaiting assignment because every
+	// processor is at its target load (§3.4.3).
+	pool []*taskState
+
+	createdDone map[jade.TaskID]sim.Time
+	fcfsNext    int // rotating pointer for NoLocality FCFS
+
+	// Trace, when non-nil, records scheduling, communication and
+	// execution events.
+	Trace *trace.Trace
+
+	stats    metrics.Run
+	execBase sim.Time
+	busyBase []float64
+}
+
+var _ jade.Platform = (*Machine)(nil)
+
+// New builds an iPSC machine from cfg.
+func New(cfg Config) *Machine {
+	if cfg.Procs < 1 {
+		panic("ipsc: need at least one processor")
+	}
+	if cfg.TargetTasks < 1 {
+		cfg.TargetTasks = 1
+	}
+	m := &Machine{
+		cfg:         cfg,
+		eng:         sim.New(),
+		objs:        make(map[jade.ObjectID]*objState),
+		createdDone: make(map[jade.TaskID]sim.Time),
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		m.nodes = append(m.nodes, &node{
+			cpu:   sim.NewProcessor(m.eng),
+			nic:   sim.NewProcessor(m.eng),
+			store: make(map[jade.ObjectID]jade.Version),
+		})
+	}
+	m.stats.Procs = cfg.Procs
+	return m
+}
+
+// Attach implements jade.Platform.
+func (m *Machine) Attach(rt *jade.Runtime) { m.rt = rt }
+
+// Processors implements jade.Platform.
+func (m *Machine) Processors() int { return m.cfg.Procs }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// ObjectAllocated implements jade.Platform. On a message-passing
+// machine the main program initializes every object, so node 0 owns
+// the initial version regardless of the placement hint (this is what
+// costs Panel Cholesky its first-touch locality on the iPSC, Figure
+// 15).
+func (m *Machine) ObjectAllocated(o *jade.Object) {
+	m.objs[o.ID] = &objState{owner: 0, version: 0, accessedBy: map[int]bool{0: true}}
+	m.nodes[0].store[o.ID] = 0
+}
+
+// TaskCreated implements jade.Platform.
+func (m *Machine) TaskCreated(t *jade.Task, enabled bool) {
+	done := m.nodes[0].cpu.Submit(m.eng.Now(), sim.Time(m.cfg.TaskCreateSec), nil)
+	m.stats.TaskMgmtTime += m.cfg.TaskCreateSec
+	m.createdDone[t.ID] = done
+	m.traceEvent(float64(done), trace.TaskCreated, int(t.ID), 0, "")
+	if enabled {
+		m.eng.At(done, func() { m.schedule(t) })
+	}
+}
+
+// TaskEnabled implements jade.Platform.
+func (m *Machine) TaskEnabled(t *jade.Task) {
+	at := m.eng.Now()
+	if cd := m.createdDone[t.ID]; cd > at {
+		at = cd
+	}
+	m.eng.At(at, func() { m.schedule(t) })
+}
+
+// SerialWork implements jade.Platform.
+func (m *Machine) SerialWork(d float64) {
+	m.nodes[0].cpu.Submit(m.eng.Now(), sim.Time(d*m.cfg.SpeedFactor), nil)
+}
+
+// Drain implements jade.Platform.
+func (m *Machine) Drain() {
+	end := m.eng.Run()
+	m.nodes[0].cpu.Advance(end)
+}
+
+// Stats implements jade.Platform.
+func (m *Machine) Stats() *metrics.Run {
+	m.stats.ExecTime = float64(m.nodes[0].cpu.FreeAt() - m.execBase)
+	m.stats.ProcBusy = m.stats.ProcBusy[:0]
+	for i, n := range m.nodes {
+		b := float64(n.cpu.BusyTime())
+		if i < len(m.busyBase) {
+			b -= m.busyBase[i]
+		}
+		m.stats.ProcBusy = append(m.stats.ProcBusy, b)
+	}
+	return &m.stats
+}
+
+// ResetStats implements jade.Platform.
+func (m *Machine) ResetStats() {
+	m.stats = metrics.Run{Procs: m.cfg.Procs}
+	m.execBase = m.nodes[0].cpu.FreeAt()
+	m.busyBase = m.busyBase[:0]
+	for _, n := range m.nodes {
+		m.busyBase = append(m.busyBase, float64(n.cpu.BusyTime()))
+	}
+}
+
+// schedule runs the centralized scheduling decision on the main
+// processor for one enabled task (§3.4.3).
+func (m *Machine) schedule(t *jade.Task) {
+	ts := &taskState{t: t, target: m.targetOf(t), proc: -1}
+	var p int
+	switch {
+	case m.cfg.Level == TaskPlacement && t.Placed >= 0:
+		// Explicit placement still respects the target load: the
+		// scheduler only keeps each processor supplied with
+		// TargetTasks tasks at a time (§3.4.3).
+		p = t.Placed
+		if m.nodes[p].load >= m.cfg.TargetTasks {
+			p = -1
+		}
+	case m.cfg.Level == NoLocality:
+		p = m.pickIdleFCFS()
+	default:
+		p = m.pickLeastLoaded(ts)
+	}
+	if p < 0 {
+		m.pool = append(m.pool, ts)
+		return
+	}
+	m.assign(ts, p)
+}
+
+// targetOf returns the owner of the task's locality object — the
+// processor guaranteed to hold the latest version (§3.4.3).
+func (m *Machine) targetOf(t *jade.Task) int {
+	lobj := t.LocalityObject(m.rt.Config().Locality)
+	if lobj == nil {
+		return 0
+	}
+	return m.objs[lobj.ID].owner
+}
+
+// pickIdleFCFS implements the NoLocality single-queue policy: hand the
+// task to an idle processor, rotating for fairness, or report none.
+func (m *Machine) pickIdleFCFS() int {
+	for i := 0; i < m.cfg.Procs; i++ {
+		p := (m.fcfsNext + i) % m.cfg.Procs
+		if m.nodes[p].load == 0 {
+			m.fcfsNext = (p + 1) % m.cfg.Procs
+			return p
+		}
+	}
+	return -1
+}
+
+// pickLeastLoaded implements the §3.4.3 policy: if every processor has
+// reached the target load, pool the task; otherwise assign to the
+// target processor if it is among the least loaded, else to the
+// lowest-numbered least-loaded processor. With StickyTarget (§5.6
+// extension) the target also wins whenever it has any headroom.
+func (m *Machine) pickLeastLoaded(ts *taskState) int {
+	minLoad := m.nodes[0].load
+	for _, n := range m.nodes[1:] {
+		if n.load < minLoad {
+			minLoad = n.load
+		}
+	}
+	if minLoad >= m.cfg.TargetTasks {
+		return -1
+	}
+	if m.nodes[ts.target].load == minLoad {
+		return ts.target
+	}
+	if m.cfg.StickyTarget && m.nodes[ts.target].load < m.cfg.TargetTasks+1 {
+		return ts.target
+	}
+	for p, n := range m.nodes {
+		if n.load == minLoad {
+			return p
+		}
+	}
+	return -1
+}
+
+// assign charges the scheduling decision to the main CPU, sends the
+// task message, and triggers the communicator on arrival.
+func (m *Machine) assign(ts *taskState, p int) {
+	ts.proc = p
+	m.nodes[p].load++
+	m.traceEvent(float64(m.eng.Now()), trace.TaskAssigned, int(ts.t.ID), p,
+		fmt.Sprintf("target=p%d", ts.target))
+	m.stats.TaskMgmtTime += m.cfg.AssignSec
+	decided := m.nodes[0].cpu.Submit(m.eng.Now(), sim.Time(m.cfg.AssignSec), nil)
+	if p == 0 {
+		m.eng.At(decided, func() { m.taskArrived(ts) })
+		return
+	}
+	sent := m.nodes[0].nic.Submit(decided, sim.Time(m.cfg.sendOccupancy(m.cfg.TaskMsgBytes)), nil)
+	arrival := sent + sim.Time(m.cfg.msgLatency(0, p))
+	m.eng.At(arrival, func() { m.taskArrived(ts) })
+}
+
+// taskArrived runs in the receiving node's message handler: it
+// immediately requests every remote object the task will access
+// (§3.4.3), in parallel when ConcurrentFetch is on.
+func (m *Machine) taskArrived(ts *taskState) {
+	p := ts.proc
+	var toFetch []jade.Access
+	if !m.rt.Config().WorkFree {
+		for _, a := range ts.t.Accesses {
+			if !a.Reads() {
+				continue
+			}
+			if v, ok := m.nodes[p].store[a.Obj.ID]; ok && v == a.RequiredVersion {
+				m.noteAccess(a.Obj.ID, a.RequiredVersion, p)
+				continue
+			}
+			toFetch = append(toFetch, a)
+		}
+	}
+	if len(toFetch) == 0 {
+		m.ready(ts)
+		return
+	}
+	ts.needed = len(toFetch)
+	ts.firstReq = m.eng.Now()
+	m.traceEvent(float64(m.eng.Now()), trace.FetchStart, int(ts.t.ID), p,
+		fmt.Sprintf("%d objects", len(toFetch)))
+	if m.cfg.ConcurrentFetch {
+		for _, a := range toFetch {
+			m.fetch(ts, a)
+		}
+	} else {
+		// Serial fetch chain: issue each request only after the
+		// previous object arrives.
+		var next func(i int)
+		next = func(i int) {
+			m.fetchThen(ts, toFetch[i], func() {
+				if i+1 < len(toFetch) {
+					next(i + 1)
+				}
+			})
+		}
+		next(0)
+	}
+}
+
+// fetch issues one object request and delivers the object; when the
+// task's last object arrives the task becomes ready.
+func (m *Machine) fetch(ts *taskState, a jade.Access) {
+	m.fetchThen(ts, a, nil)
+}
+
+func (m *Machine) fetchThen(ts *taskState, a jade.Access, then func()) {
+	p := ts.proc
+	o := a.Obj
+	st := m.objs[o.ID]
+	owner := st.owner
+	issued := m.eng.Now()
+	ts.reqCount++
+
+	// Request message: p → owner.
+	reqSent := m.nodes[p].nic.Submit(issued, sim.Time(m.cfg.sendOccupancy(m.cfg.RequestBytes)), nil)
+	reqArrive := reqSent + sim.Time(m.cfg.msgLatency(p, owner))
+	m.eng.At(reqArrive, func() {
+		m.noteAccess(o.ID, a.RequiredVersion, p)
+		// Reply: owner → p, carrying the object.
+		repSent := m.nodes[owner].nic.Submit(m.eng.Now(), sim.Time(m.cfg.sendOccupancy(o.Size)), nil)
+		arrive := repSent + sim.Time(m.cfg.msgLatency(owner, p))
+		m.eng.At(arrive, func() {
+			m.nodes[p].store[o.ID] = a.RequiredVersion
+			m.stats.MsgBytes += int64(o.Size)
+			m.stats.MsgCount++
+			if owner != p {
+				m.stats.ReplicatedReads++
+			}
+			m.stats.ObjectLatency += float64(m.eng.Now() - issued)
+			if m.eng.Now() > ts.lastArrive {
+				ts.lastArrive = m.eng.Now()
+			}
+			ts.needed--
+			if then != nil {
+				then()
+			}
+			if ts.needed == 0 {
+				m.stats.TaskLatency += float64(ts.lastArrive - ts.firstReq)
+				m.traceEvent(float64(m.eng.Now()), trace.FetchEnd, int(ts.t.ID), p, "")
+				m.ready(ts)
+			}
+		})
+	})
+}
+
+// noteAccess records that processor p accessed the current version of
+// the object, and flips the object into broadcast mode once every
+// processor has accessed one version (§3.4.2).
+func (m *Machine) noteAccess(id jade.ObjectID, v jade.Version, p int) {
+	st := m.objs[id]
+	if st.version != v {
+		return // a stale access; only the current version's set counts
+	}
+	st.accessedBy[p] = true
+	if m.cfg.AdaptiveBroadcast && !st.broadcast && len(st.accessedBy) == m.cfg.Procs {
+		st.broadcast = true
+	}
+}
+
+// ready executes the task on its node: dispatch overhead plus scaled
+// compute. The body runs at the execution start; ownership updates and
+// the completion protocol run at the completion time.
+func (m *Machine) ready(ts *taskState) {
+	p := ts.proc
+	work := ts.t.Work * m.cfg.SpeedFactor
+	m.stats.TaskMgmtTime += m.cfg.DispatchSec
+	m.stats.TaskCount++
+	if p == ts.target {
+		m.stats.TasksOnTarget++
+	}
+	m.stats.TaskExecTotal += work
+
+	if len(ts.t.Segments) > 0 && !m.rt.Config().WorkFree {
+		m.readyStaged(ts)
+		return
+	}
+	m.rt.RunBody(ts.t)
+	m.nodes[p].cpu.Submit(m.eng.Now(), sim.Time(m.cfg.DispatchSec+work), func(start, end sim.Time) {
+		m.traceEvent(float64(start), trace.ExecStart, int(ts.t.ID), p, "")
+		m.traceEvent(float64(end), trace.ExecEnd, int(ts.t.ID), p, "")
+		m.completed(ts)
+	})
+}
+
+// traceEvent records an event when tracing is enabled.
+func (m *Machine) traceEvent(at float64, k trace.Kind, task, proc int, detail string) {
+	if m.Trace != nil {
+		m.Trace.Add(at, k, task, proc, detail)
+	}
+}
+
+// readyStaged executes a multi-synchronization-point task on its
+// node: each segment boundary publishes released writes (the node
+// becomes the owner of the new version immediately) and enables
+// successors.
+func (m *Machine) readyStaged(ts *taskState) {
+	p := ts.proc
+	segs := ts.t.Segments
+	ts.releasedEarly = make(map[jade.ObjectID]bool)
+	var run func(i int)
+	run = func(i int) {
+		m.rt.RunSegmentBody(ts.t, i)
+		d := segs[i].Work * m.cfg.SpeedFactor
+		if i == 0 {
+			d += m.cfg.DispatchSec
+		}
+		m.nodes[p].cpu.Submit(m.eng.Now(), sim.Time(d), func(start, end sim.Time) {
+			for _, o := range segs[i].Release {
+				if a, ok := ts.t.AccessOn(o); ok && a.Writes() {
+					m.produce(o, a.RequiredVersion+1, p)
+					ts.releasedEarly[o.ID] = true
+				}
+				for _, n := range m.rt.ReleaseEarly(ts.t, o) {
+					m.TaskEnabled(n)
+				}
+			}
+			if i+1 < len(segs) {
+				run(i + 1)
+				return
+			}
+			m.completed(ts)
+		})
+	}
+	run(0)
+}
+
+// completed applies the task's writes to the ownership map, performs
+// adaptive broadcasts of newly produced versions, notifies the main
+// processor, and lets the scheduler hand out pooled work.
+func (m *Machine) completed(ts *taskState) {
+	p := ts.proc
+	for _, a := range ts.t.Accesses {
+		if !a.Writes() || ts.releasedEarly[a.Obj.ID] {
+			continue
+		}
+		m.produce(a.Obj, a.RequiredVersion+1, p)
+	}
+	m.rt.TaskDone(ts.t)
+
+	// Completion message p → main; the handler decrements the load
+	// and assigns pooled tasks (preferring ones targeting p).
+	notify := func() {
+		m.stats.TaskMgmtTime += m.cfg.CompleteHandleSec
+		m.nodes[0].cpu.Submit(m.eng.Now(), sim.Time(m.cfg.CompleteHandleSec), func(start, end sim.Time) {
+			m.nodes[p].load--
+			m.drainPool(p)
+		})
+	}
+	if p == 0 {
+		notify()
+		return
+	}
+	sent := m.nodes[p].nic.Submit(m.eng.Now(), sim.Time(m.cfg.sendOccupancy(m.cfg.CompletionBytes)), nil)
+	m.eng.At(sent+sim.Time(m.cfg.msgLatency(p, 0)), notify)
+}
+
+// produce installs a new version of an object owned by processor p,
+// resets the access set, and eagerly distributes the version when the
+// object is in broadcast mode (or, with the EagerUpdate protocol, to
+// the previous version's readers).
+func (m *Machine) produce(o *jade.Object, v jade.Version, p int) {
+	st := m.objs[o.ID]
+	prevReaders := st.accessedBy
+	st.owner = p
+	st.version = v
+	st.accessedBy = map[int]bool{p: true}
+	m.nodes[p].store[o.ID] = v
+	if m.rt.Config().WorkFree {
+		return
+	}
+	if !st.broadcast {
+		if m.cfg.EagerUpdate {
+			m.eagerUpdate(o, v, p, prevReaders)
+		}
+		return
+	}
+	// Adaptive broadcast (§3.4.2): the producer initiates a
+	// spanning-tree broadcast of the new version. Setup and the buffer
+	// copy cost producer CPU; the tree transmissions occupy its NIC.
+	m.stats.BroadcastCount++
+	m.traceEvent(float64(m.eng.Now()), trace.Broadcast, -1, p,
+		fmt.Sprintf("%s v%d (%d bytes)", o.Name, v, o.Size))
+	cpuDone := m.nodes[p].cpu.Submit(m.eng.Now(),
+		sim.Time(m.cfg.BcastSetupSec+m.cfg.byteTime(o.Size)), nil)
+	steps := m.cfg.bcastSteps()
+	nicDone := m.nodes[p].nic.Submit(cpuDone,
+		sim.Time(float64(steps)*m.cfg.sendOccupancy(o.Size)), nil)
+	arrive := nicDone + sim.Time(m.cfg.MsgLatencySec)
+	if m.cfg.Procs > 1 {
+		m.stats.MsgBytes += int64(o.Size) * int64(m.cfg.Procs-1)
+		m.stats.MsgCount += int64(m.cfg.Procs - 1)
+	}
+	m.eng.At(arrive, func() {
+		if st.version != v {
+			return // already superseded
+		}
+		for q := range m.nodes {
+			m.nodes[q].store[o.ID] = v
+		}
+	})
+}
+
+// eagerUpdate implements the §6 update protocol: push the new version
+// to every processor that accessed the previous one. Each push is a
+// point-to-point send serialized on the producer's NIC; a consumer
+// that never reads the version again makes the transfer pure waste,
+// which is exactly how the protocol degrades irregular applications.
+func (m *Machine) eagerUpdate(o *jade.Object, v jade.Version, p int, readers map[int]bool) {
+	st := m.objs[o.ID]
+	// Deterministic order.
+	for q := 0; q < m.cfg.Procs; q++ {
+		if q == p || !readers[q] {
+			continue
+		}
+		q := q
+		sent := m.nodes[p].nic.Submit(m.eng.Now(), sim.Time(m.cfg.sendOccupancy(o.Size)), nil)
+		m.stats.MsgBytes += int64(o.Size)
+		m.stats.MsgCount++
+		m.eng.At(sent+sim.Time(m.cfg.msgLatency(p, q)), func() {
+			if st.version != v {
+				return // superseded in flight
+			}
+			m.nodes[q].store[o.ID] = v
+		})
+	}
+}
+
+// drainPool assigns pooled tasks to processor p while it has headroom,
+// preferring tasks whose target is p (§3.4.3). Explicitly placed tasks
+// only ever go to their placed processor.
+func (m *Machine) drainPool(p int) {
+	placedOnly := func(ts *taskState) bool {
+		return m.cfg.Level == TaskPlacement && ts.t.Placed >= 0
+	}
+	for m.nodes[p].load < m.cfg.TargetTasks && len(m.pool) > 0 {
+		pick := -1
+		// First pass: tasks bound or targeted to p.
+		for i, ts := range m.pool {
+			if placedOnly(ts) {
+				if ts.t.Placed == p {
+					pick = i
+					break
+				}
+				continue
+			}
+			if m.cfg.Level != NoLocality && ts.target == p {
+				pick = i
+				break
+			}
+		}
+		// Second pass: any assignable task.
+		if pick < 0 {
+			for i, ts := range m.pool {
+				if placedOnly(ts) && ts.t.Placed != p {
+					continue
+				}
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			return
+		}
+		ts := m.pool[pick]
+		m.pool = append(m.pool[:pick], m.pool[pick+1:]...)
+		m.assign(ts, p)
+	}
+}
+
+// MainTouches implements jade.Platform: serial phases fetch the
+// objects they read to node 0 (blocking the main program) and take
+// ownership of the objects they write, broadcasting new versions of
+// broadcast-mode objects.
+func (m *Machine) MainTouches(accs []jade.Access) {
+	main := m.nodes[0]
+	for _, a := range accs {
+		o := a.Obj
+		st := m.objs[o.ID]
+		if a.Reads() {
+			if v, ok := main.store[o.ID]; !ok || v != a.RequiredVersion {
+				// Synchronous fetch: request to owner, reply with the
+				// object; the main program blocks until arrival.
+				reqSent := main.nic.Submit(main.cpu.FreeAt(), sim.Time(m.cfg.sendOccupancy(m.cfg.RequestBytes)), nil)
+				repSent := m.nodes[st.owner].nic.Submit(reqSent+sim.Time(m.cfg.MsgLatencySec), sim.Time(m.cfg.sendOccupancy(o.Size)), nil)
+				arrive := repSent + sim.Time(m.cfg.MsgLatencySec)
+				main.cpu.Advance(arrive)
+				main.store[o.ID] = a.RequiredVersion
+				m.stats.MsgBytes += int64(o.Size)
+				m.stats.MsgCount++
+			}
+			m.noteAccess(o.ID, a.RequiredVersion, 0)
+		}
+		if a.Writes() {
+			m.produce(o, a.RequiredVersion+1, 0)
+		}
+	}
+}

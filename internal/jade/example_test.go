@@ -1,0 +1,83 @@
+package jade_test
+
+import (
+	"fmt"
+
+	"repro/internal/jade"
+	"repro/internal/native"
+)
+
+// The canonical Jade pattern: declare accesses, let the runtime find
+// the parallelism.
+func Example() {
+	machine := native.New(2)
+	defer machine.Close()
+	rt := jade.New(machine, jade.Config{})
+
+	total := 0
+	parts := [2]int{}
+	data := rt.Alloc("data", 8, nil)
+	partObjs := [2]*jade.Object{
+		rt.Alloc("part0", 8, nil),
+		rt.Alloc("part1", 8, nil),
+	}
+	sum := rt.Alloc("sum", 8, nil)
+
+	// Two independent tasks: withonly { rd(data); wr(part) } do ...
+	for i := 0; i < 2; i++ {
+		i := i
+		rt.WithOnly(func(s *jade.Spec) {
+			s.Rd(data)
+			s.Wr(partObjs[i])
+		}, 0, func() { parts[i] = i + 1 })
+	}
+	// The reducer reads both parts: it runs after them.
+	rt.WithOnly(func(s *jade.Spec) {
+		s.Rd(partObjs[0])
+		s.Rd(partObjs[1])
+		s.Wr(sum)
+	}, 0, func() { total = parts[0] + parts[1] })
+
+	rt.Wait()
+	fmt.Println(total)
+	// Output: 3
+}
+
+// Staged tasks release objects at internal synchronization points,
+// letting successors start before the task finishes (§2's advanced
+// constructs).
+func ExampleRuntime_WithOnlyStaged() {
+	machine := native.New(2)
+	defer machine.Close()
+	rt := jade.New(machine, jade.Config{})
+
+	first := rt.Alloc("first", 8, nil)
+	second := rt.Alloc("second", 8, nil)
+	msg := ""
+
+	rt.WithOnlyStaged(func(s *jade.Spec) {
+		s.Wr(first)
+		s.Wr(second)
+	}, []jade.Segment{
+		{Body: func() { msg += "one " }, Release: []*jade.Object{first}},
+		{Body: func() { msg += "two " }},
+	})
+	rt.Wait()
+	fmt.Println(msg + "done")
+	// Output: one two done
+}
+
+// Serial phases run on the main processor between parallel phases.
+func ExampleRuntime_Serial() {
+	machine := native.New(2)
+	defer machine.Close()
+	rt := jade.New(machine, jade.Config{})
+
+	o := rt.Alloc("acc", 8, nil)
+	acc := 0
+	rt.WithOnly(func(s *jade.Spec) { s.RdWr(o) }, 0, func() { acc += 2 })
+	rt.Wait()
+	rt.Serial(0, func() { acc *= 10 }, func(s *jade.Spec) { s.RdWr(o) })
+	fmt.Println(acc)
+	// Output: 20
+}

@@ -1,0 +1,223 @@
+package jade
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// Runtime is the platform-independent half of the Jade implementation:
+// it owns the shared objects, the task list, and the synchronizer, and
+// drives a Platform. One Runtime executes one program once.
+//
+// Execution contract (matching the paper's model, where the main
+// processor creates all tasks): the main program runs serially,
+// creating tasks with WithOnly; task bodies execute during Wait, in a
+// dependence-respecting order chosen by the platform. The program must
+// call Wait before reading or mutating objects accessed by pending
+// tasks, and must express the structure of the task graph (which tasks
+// access which objects) independently of values computed inside task
+// bodies of the same phase.
+type Runtime struct {
+	platform Platform
+	cfg      Config
+
+	objects []*Object
+	tasks   []*Task
+	sync    *Synchronizer
+
+	outstanding atomic.Int64
+	finished    bool
+}
+
+// New creates a runtime bound to the given platform.
+func New(p Platform, cfg Config) *Runtime {
+	rt := &Runtime{platform: p, cfg: cfg, sync: NewSynchronizer()}
+	p.Attach(rt)
+	return rt
+}
+
+// Config returns the runtime configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Processors returns the platform's processor count.
+func (rt *Runtime) Processors() int { return rt.platform.Processors() }
+
+// Alloc creates a shared object of the given size holding data. By
+// default the object's home is processor 0 (the main processor, which
+// allocates it); use OnProcessor to place it elsewhere, mirroring
+// memory-module placement on the real machines.
+func (rt *Runtime) Alloc(name string, size int, data interface{}, opts ...AllocOpt) *Object {
+	if rt.finished {
+		panic("jade: Alloc after Finish")
+	}
+	o := &Object{ID: ObjectID(len(rt.objects)), Name: name, Size: size, Data: data, Home: 0}
+	for _, opt := range opts {
+		opt(o)
+	}
+	if o.Home < 0 || o.Home >= rt.platform.Processors() {
+		panic(fmt.Sprintf("jade: object %q placed on processor %d of %d", name, o.Home, rt.platform.Processors()))
+	}
+	rt.objects = append(rt.objects, o)
+	rt.platform.ObjectAllocated(o)
+	return o
+}
+
+// Spec collects a task's access declarations (the paper's access
+// specification section).
+type Spec struct {
+	accs []Access
+}
+
+// Rd declares that the task will read o.
+func (s *Spec) Rd(o *Object) { s.add(o, Read) }
+
+// Wr declares that the task will write o.
+func (s *Spec) Wr(o *Object) { s.add(o, Write) }
+
+// RdWr declares that the task will both read and write o.
+func (s *Spec) RdWr(o *Object) { s.add(o, Read|Write) }
+
+func (s *Spec) add(o *Object, m Mode) {
+	if o == nil {
+		panic("jade: access declared on nil object")
+	}
+	// Merge duplicate declarations on the same object (the access
+	// specification is the union of executed statements).
+	for i := range s.accs {
+		if s.accs[i].Obj == o {
+			s.accs[i].Mode |= m
+			return
+		}
+	}
+	s.accs = append(s.accs, Access{Obj: o, Mode: m})
+}
+
+// WithOnly creates a task: spec runs immediately to build the access
+// specification; body is deferred until the task's dependences are
+// satisfied during a later Wait. work is the body's compute cost in
+// reference-processor seconds.
+func (rt *Runtime) WithOnly(spec func(*Spec), work float64, body func(), opts ...TaskOpt) *Task {
+	if rt.finished {
+		panic("jade: WithOnly after Finish")
+	}
+	var s Spec
+	spec(&s)
+	if len(s.accs) == 0 {
+		panic("jade: task declared no accesses")
+	}
+	t := &Task{
+		ID:       TaskID(len(rt.tasks)),
+		Accesses: s.accs,
+		Body:     body,
+		Work:     work,
+		Placed:   -1,
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	if t.Placed >= rt.platform.Processors() {
+		panic(fmt.Sprintf("jade: task placed on processor %d of %d", t.Placed, rt.platform.Processors()))
+	}
+	if rt.cfg.WorkFree {
+		t.Work = 0
+		t.Body = nil
+	}
+	rt.tasks = append(rt.tasks, t)
+	rt.outstanding.Add(1)
+	enabled := rt.sync.Register(t)
+	rt.platform.TaskCreated(t, enabled)
+	return t
+}
+
+// Serial runs a serial phase on the main processor: body executes
+// immediately; work seconds are charged to main. accs (optional)
+// declares the shared objects the phase touches, so message-passing
+// platforms fetch them to the main processor first. The caller must
+// have Wait()ed if pending tasks access those objects.
+func (rt *Runtime) Serial(work float64, body func(), spec ...func(*Spec)) {
+	if rt.outstanding.Load() != 0 {
+		panic("jade: Serial with tasks outstanding; call Wait first")
+	}
+	var s Spec
+	for _, f := range spec {
+		f(&s)
+	}
+	if len(s.accs) > 0 {
+		// Serial phases see and produce versions too.
+		for i := range s.accs {
+			a := &s.accs[i]
+			a.RequiredVersion = Version(a.Obj.writesCreated)
+			if a.Writes() {
+				a.Obj.writesCreated++
+			}
+		}
+		rt.platform.MainTouches(s.accs)
+	}
+	if !rt.cfg.WorkFree && body != nil {
+		body()
+	}
+	rt.platform.SerialWork(work)
+}
+
+// Wait blocks the main program until every created task has completed
+// (all bodies executed, virtual time advanced past the last
+// completion).
+func (rt *Runtime) Wait() {
+	rt.platform.Drain()
+	if n := rt.outstanding.Load(); n != 0 {
+		panic(fmt.Sprintf("jade: %d tasks still outstanding after Drain", n))
+	}
+}
+
+// RunBody executes the task's body (exactly once). Platforms call it
+// at the virtual time the task starts executing; by then the
+// synchronizer guarantees all conflicting predecessors have completed.
+func (rt *Runtime) RunBody(t *Task) {
+	if t.executed {
+		panic(fmt.Sprintf("jade: task %d body executed twice", t.ID))
+	}
+	t.executed = true
+	if t.Body != nil {
+		t.Body()
+	}
+}
+
+// TaskDone records the task's completion in the synchronizer and
+// notifies the platform of each newly enabled task. Platforms call it
+// at the task's completion time.
+func (rt *Runtime) TaskDone(t *Task) {
+	if !t.executed {
+		panic(fmt.Sprintf("jade: task %d completed without executing", t.ID))
+	}
+	rt.outstanding.Add(-1)
+	for _, n := range rt.sync.Complete(t) {
+		rt.platform.TaskEnabled(n)
+	}
+}
+
+// ResetMetrics zeroes the platform's measurements and restarts its
+// execution-time baseline. Call it after untimed initialization
+// phases (the paper's timings omit them). Any outstanding tasks must
+// be drained first.
+func (rt *Runtime) ResetMetrics() {
+	rt.Wait()
+	rt.platform.ResetStats()
+}
+
+// Tasks returns the created tasks in creation order.
+func (rt *Runtime) Tasks() []*Task { return rt.tasks }
+
+// Objects returns the allocated objects in allocation order.
+func (rt *Runtime) Objects() []*Object { return rt.objects }
+
+// Finish completes the run: waits for stragglers and returns the
+// platform's measurements.
+func (rt *Runtime) Finish() *metrics.Run {
+	if !rt.finished {
+		rt.Wait()
+		rt.finished = true
+	}
+	return rt.platform.Stats()
+}

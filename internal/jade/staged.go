@@ -1,0 +1,127 @@
+package jade
+
+import "fmt"
+
+// This file implements the paper's "more advanced construct and
+// additional access specification statements" (§2): tasks with
+// multiple synchronization points. A staged task executes as a
+// sequence of segments; at the end of each segment it can give up
+// declared accesses early (Jade's no_rd/no_wr statements), enabling
+// successor tasks before the task itself completes. §6 notes that the
+// advanced constructs support pipelined access to objects — this is
+// the mechanism.
+
+// Segment is one stage of a staged task.
+type Segment struct {
+	// Work is the segment's compute cost in reference-processor
+	// seconds.
+	Work float64
+	// Body is the segment's computation (may be nil).
+	Body func()
+	// Release lists objects whose declared accesses the task gives up
+	// at the end of this segment. The task must not touch them in
+	// later segments.
+	Release []*Object
+}
+
+// WithOnlyStaged creates a task with multiple synchronization points.
+// spec declares the union of all segments' accesses up front, exactly
+// like WithOnly; each segment may then release objects early. The
+// final segment implicitly releases everything still held.
+func (rt *Runtime) WithOnlyStaged(spec func(*Spec), segs []Segment, opts ...TaskOpt) *Task {
+	if len(segs) == 0 {
+		panic("jade: staged task needs at least one segment")
+	}
+	var total float64
+	for _, sg := range segs {
+		total += sg.Work
+	}
+	t := rt.WithOnly(spec, total, nil, opts...)
+	if rt.cfg.WorkFree {
+		return t // bodies and releases are dropped with the work
+	}
+	// Validate releases against the declaration.
+	declared := map[ObjectID]bool{}
+	for _, a := range t.Accesses {
+		declared[a.Obj.ID] = true
+	}
+	released := map[ObjectID]bool{}
+	for _, sg := range segs {
+		for _, o := range sg.Release {
+			if !declared[o.ID] {
+				panic(fmt.Sprintf("jade: staged task releases undeclared object %q", o.Name))
+			}
+			if released[o.ID] {
+				panic(fmt.Sprintf("jade: staged task releases %q twice", o.Name))
+			}
+			released[o.ID] = true
+		}
+	}
+	t.Segments = segs
+	return t
+}
+
+// ReleaseEarly completes the task's declared access on o before the
+// task finishes, returning the tasks newly enabled by the release.
+// Platforms call it at each segment boundary's virtual time and
+// schedule the returned tasks.
+func (rt *Runtime) ReleaseEarly(t *Task, o *Object) []*Task {
+	return rt.sync.CompleteEntry(t, o)
+}
+
+// RunSegmentBody executes segment i's body (the first segment marks
+// the task as executed). Platforms call it at each segment's start.
+func (rt *Runtime) RunSegmentBody(t *Task, i int) {
+	if i == 0 {
+		if t.executed {
+			panic(fmt.Sprintf("jade: staged task %d started twice", t.ID))
+		}
+		t.executed = true
+	}
+	if b := t.Segments[i].Body; b != nil {
+		b()
+	}
+}
+
+// AccessOn returns the task's declared access to o, if any.
+func (t *Task) AccessOn(o *Object) (Access, bool) {
+	for _, a := range t.Accesses {
+		if a.Obj == o {
+			return a, true
+		}
+	}
+	return Access{}, false
+}
+
+// CompleteEntry marks the task's declaration on object o as finished
+// and returns the tasks that newly became enabled, in task-ID order.
+func (s *Synchronizer) CompleteEntry(t *Task, o *Object) []*Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var newly []*Task
+	for _, e := range t.entries {
+		if e.obj != o || e.done {
+			continue
+		}
+		e.done = true
+		for j := e.index + 1; j < len(o.queue); j++ {
+			later := o.queue[j]
+			if later.done {
+				continue
+			}
+			if conflicts(e.mode, later.mode) {
+				later.task.pending--
+				if later.task.pending == 0 && !later.task.enabled {
+					later.task.enabled = true
+					newly = append(newly, later.task)
+				}
+			}
+		}
+		for o.head < len(o.queue) && o.queue[o.head].done {
+			o.head++
+		}
+	}
+	sortTasksByID(newly)
+	return newly
+}

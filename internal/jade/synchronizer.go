@@ -1,0 +1,123 @@
+package jade
+
+import "sync"
+
+// entry is one access declaration in an object's dependence queue.
+type entry struct {
+	task *Task
+	mode Mode
+	done bool
+	// index is the entry's absolute position in the object's queue.
+	index int
+	obj   *Object
+}
+
+// Synchronizer implements Jade's queue-based dependence analysis
+// (§3.1/§3.3 of the paper). Each object carries a queue of access
+// declarations in serial program order. A declared read is satisfied
+// when every earlier write on that object has completed; a declared
+// write is satisfied when every earlier access has completed. A task
+// is enabled when all its declarations are satisfied.
+//
+// The Synchronizer is safe for concurrent use (the native runtime
+// completes tasks from multiple goroutines); the simulated platforms
+// drive it single-threaded.
+type Synchronizer struct {
+	mu sync.Mutex
+}
+
+// NewSynchronizer returns an empty synchronizer.
+func NewSynchronizer() *Synchronizer { return &Synchronizer{} }
+
+// Register adds the task's access declarations to the object queues,
+// assigns required versions, and computes the task's initial pending
+// count. It reports whether the task is immediately enabled.
+//
+// Register must be called in serial program order: it defines the
+// dependence semantics.
+func (s *Synchronizer) Register(t *Task) (enabled bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	t.pending = 0
+	t.entries = t.entries[:0]
+	for i := range t.Accesses {
+		a := &t.Accesses[i]
+		o := a.Obj
+		// Version assignment: reads see the last created write;
+		// writes produce the next version.
+		a.RequiredVersion = Version(o.writesCreated)
+		if a.Writes() {
+			o.writesCreated++
+		}
+		e := &entry{task: t, mode: a.Mode, index: len(o.queue), obj: o}
+		// Count conflicting earlier incomplete entries.
+		for j := o.head; j < len(o.queue); j++ {
+			prev := o.queue[j]
+			if !prev.done && conflicts(prev.mode, e.mode) {
+				t.pending++
+			}
+		}
+		o.queue = append(o.queue, e)
+		t.entries = append(t.entries, e)
+	}
+	if t.pending == 0 {
+		t.enabled = true
+		return true
+	}
+	return false
+}
+
+// conflicts reports whether two access modes on the same object imply
+// a dependence (at least one writes).
+func conflicts(a, b Mode) bool {
+	return a&Write != 0 || b&Write != 0
+}
+
+// Complete marks the task's declared accesses as finished and returns
+// the tasks newly enabled by its completion, ordered by task ID
+// (serial program order) for deterministic scheduling.
+func (s *Synchronizer) Complete(t *Task) []*Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var newly []*Task
+	for _, e := range t.entries {
+		if e.done {
+			continue
+		}
+		e.done = true
+		o := e.obj
+		// Release later conflicting entries.
+		for j := e.index + 1; j < len(o.queue); j++ {
+			later := o.queue[j]
+			if later.done {
+				continue
+			}
+			if conflicts(e.mode, later.mode) {
+				later.task.pending--
+				if later.task.pending == 0 && !later.task.enabled {
+					later.task.enabled = true
+					newly = append(newly, later.task)
+				}
+			}
+		}
+		// Advance the completed prefix so Register scans stay short.
+		for o.head < len(o.queue) && o.queue[o.head].done {
+			o.head++
+		}
+	}
+	sortTasksByID(newly)
+	return newly
+}
+
+// sortTasksByID orders tasks by creation order. The slices are tiny,
+// so insertion sort suffices. A task appears at most once (the enabled
+// flag guards duplicate release), so no dedup is needed.
+func sortTasksByID(ts []*Task) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j-1].ID > ts[j].ID; j-- {
+			ts[j-1], ts[j] = ts[j], ts[j-1]
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package metrics collects the per-run measurements the paper's
+// evaluation section reports: execution times, task locality, task
+// execution totals, message volume, fetch latencies, and
+// task-management overhead.
+package metrics
+
+// Run accumulates measurements for one execution of a Jade program on
+// one platform configuration.
+type Run struct {
+	// Procs is the number of processors in the configuration.
+	Procs int
+	// ExecTime is the program's simulated execution time in seconds
+	// (virtual wall clock at Finish).
+	ExecTime float64
+
+	// TaskCount is the number of tasks executed.
+	TaskCount int
+	// TasksOnTarget counts tasks that executed on their target
+	// processor (the owner of their locality object) — Figures 2–5
+	// and 12–15.
+	TasksOnTarget int
+
+	// TaskExecTotal is the summed execution time of task bodies, in
+	// seconds. On the shared-memory model this includes the memory
+	// access time, so communication shows up here (Figures 6–9); on
+	// the message-passing model it is pure compute (the paper notes
+	// the iPSC task times include no communication).
+	TaskExecTotal float64
+
+	// MsgBytes and MsgCount measure shared-object communication on
+	// the message-passing model (Figures 16–19 use
+	// MsgBytes/TaskExecTotal).
+	MsgBytes int64
+	MsgCount int64
+	// BroadcastCount counts adaptive-broadcast operations performed.
+	BroadcastCount int
+	// ReplicatedReads counts object fetches satisfied by creating an
+	// additional read copy (the replication optimization, §5.1).
+	ReplicatedReads int64
+
+	// ObjectLatency is the sum over object requests of the time from
+	// request send to object arrival; TaskLatency is the sum over
+	// tasks of the time from first request to last arrival (§5.5).
+	ObjectLatency float64
+	TaskLatency   float64
+
+	// TaskMgmtTime is the time the implementation (as opposed to
+	// application code) spends creating, scheduling, and dispatching
+	// tasks, summed over processors.
+	TaskMgmtTime float64
+
+	// RemoteBytes counts bytes satisfied from remote memory on the
+	// shared-memory model.
+	RemoteBytes int64
+	// LocalBytes counts bytes satisfied from local memory or cache.
+	LocalBytes int64
+
+	// ProcBusy records each processor's total busy time in seconds
+	// (CPU occupancy: tasks, serial phases, scheduling).
+	ProcBusy []float64
+}
+
+// Utilization returns each processor's busy fraction of the run.
+func (r *Run) Utilization() []float64 {
+	if r.ExecTime <= 0 {
+		return nil
+	}
+	out := make([]float64, len(r.ProcBusy))
+	for i, b := range r.ProcBusy {
+		out[i] = b / r.ExecTime
+		if out[i] > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// LocalityPct returns the percentage of tasks executed on their target
+// processor (100 × TasksOnTarget/TaskCount).
+func (r *Run) LocalityPct() float64 {
+	if r.TaskCount == 0 {
+		return 0
+	}
+	return 100 * float64(r.TasksOnTarget) / float64(r.TaskCount)
+}
+
+// CommCompRatio returns the communication-to-computation ratio in
+// Mbytes of shared-object messages per second of task execution
+// (Figures 16–19).
+func (r *Run) CommCompRatio() float64 {
+	if r.TaskExecTotal == 0 {
+		return 0
+	}
+	return float64(r.MsgBytes) / 1e6 / r.TaskExecTotal
+}
+
+// ObjectToTaskLatencyRatio returns ObjectLatency/TaskLatency (§5.5); a
+// value near one means concurrent fetches bought nothing.
+func (r *Run) ObjectToTaskLatencyRatio() float64 {
+	if r.TaskLatency == 0 {
+		return 0
+	}
+	return r.ObjectLatency / r.TaskLatency
+}

@@ -1,0 +1,34 @@
+package metrics
+
+import "testing"
+
+func TestLocalityPct(t *testing.T) {
+	r := &Run{TaskCount: 8, TasksOnTarget: 6}
+	if got := r.LocalityPct(); got != 75 {
+		t.Fatalf("LocalityPct = %v, want 75", got)
+	}
+	empty := &Run{}
+	if empty.LocalityPct() != 0 {
+		t.Fatal("empty run should report 0")
+	}
+}
+
+func TestCommCompRatio(t *testing.T) {
+	r := &Run{MsgBytes: 2e6, TaskExecTotal: 4}
+	if got := r.CommCompRatio(); got != 0.5 {
+		t.Fatalf("CommCompRatio = %v, want 0.5", got)
+	}
+	if (&Run{MsgBytes: 5}).CommCompRatio() != 0 {
+		t.Fatal("zero compute should report 0")
+	}
+}
+
+func TestObjectToTaskLatencyRatio(t *testing.T) {
+	r := &Run{ObjectLatency: 3, TaskLatency: 2}
+	if got := r.ObjectToTaskLatencyRatio(); got != 1.5 {
+		t.Fatalf("ratio = %v, want 1.5", got)
+	}
+	if (&Run{ObjectLatency: 1}).ObjectToTaskLatencyRatio() != 0 {
+		t.Fatal("zero task latency should report 0")
+	}
+}

@@ -1,0 +1,42 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEvents measures raw event throughput.
+func BenchmarkEngineEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for k := 0; k < 4096; k++ {
+			e.At(Time(k%97), func() {})
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkEngineCascade measures nested scheduling (each event
+// schedules the next), the pattern machine models produce.
+func BenchmarkEngineCascade(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := New()
+		n := 4096
+		var step func()
+		step = func() {
+			n--
+			if n > 0 {
+				e.After(1, step)
+			}
+		}
+		e.At(0, step)
+		e.Run()
+	}
+}
+
+// BenchmarkProcessorSubmit measures resource reservation throughput.
+func BenchmarkProcessorSubmit(b *testing.B) {
+	e := New()
+	p := NewProcessor(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Submit(0, 1, nil)
+	}
+}

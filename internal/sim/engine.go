@@ -1,0 +1,81 @@
+// Package sim provides a small deterministic discrete-event simulation
+// engine. The machine models in internal/dash and internal/ipsc schedule
+// all their activity (task execution, message delivery, scheduler
+// decisions) as events on a shared virtual clock.
+//
+// Determinism: events at equal times fire in the order they were
+// scheduled (FIFO tie-breaking by sequence number), so a simulation run
+// is exactly reproducible.
+package sim
+
+import "container/heap"
+
+// Time is virtual time in seconds.
+type Time float64
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// call New.
+type Engine struct {
+	pq  eventHeap
+	now Time
+	seq uint64
+}
+
+// New returns an empty engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at virtual time t. Scheduling in the past
+// (t < Now) panics: it indicates a bug in a machine model.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds after the current time.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Run processes events until the queue is empty and returns the final
+// virtual time.
+func (e *Engine) Run() Time {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// Pending reports the number of events still queued.
+func (e *Engine) Pending() int { return len(e.pq) }

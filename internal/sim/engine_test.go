@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, at := range []Time{3, 1, 2, 5, 4} {
+		at := at
+		e.At(at, func() { got = append(got, e.Now()) })
+	}
+	end := e.Run()
+	if end != 5 {
+		t.Fatalf("final time = %v, want 5", end)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("ran %d events, want 5", len(got))
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-broken order %v, want ascending", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New()
+	var trace []string
+	e.At(1, func() {
+		trace = append(trace, "a")
+		e.After(2, func() { trace = append(trace, "c") })
+		e.After(1, func() { trace = append(trace, "b") })
+	})
+	e.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestEnginePanicsOnPastEvent(t *testing.T) {
+	e := New()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestEnginePendingAndNow(t *testing.T) {
+	e := New()
+	if e.Pending() != 0 || e.Now() != 0 {
+		t.Fatal("fresh engine not empty at time zero")
+	}
+	e.At(2, func() {})
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 || e.Now() != 2 {
+		t.Fatalf("after run: pending=%d now=%v", e.Pending(), e.Now())
+	}
+}
+
+// Property: for any set of event times, the engine visits them in
+// nondecreasing order and ends at the maximum.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := New()
+		var visited []Time
+		var max Time
+		for _, r := range raw {
+			at := Time(r) / 100
+			if at > max {
+				max = at
+			}
+			e.At(at, func() { visited = append(visited, e.Now()) })
+		}
+		end := e.Run()
+		if len(raw) > 0 && end != max {
+			return false
+		}
+		return sort.SliceIsSorted(visited, func(i, j int) bool { return visited[i] < visited[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessorSerializesWork(t *testing.T) {
+	e := New()
+	p := NewProcessor(e)
+	var ends []Time
+	p.Submit(0, 2, func(start, end Time) {
+		if start != 0 || end != 2 {
+			t.Errorf("first: start=%v end=%v", start, end)
+		}
+		ends = append(ends, end)
+	})
+	p.Submit(0, 3, func(start, end Time) {
+		if start != 2 || end != 5 {
+			t.Errorf("second: start=%v end=%v, want 2,5", start, end)
+		}
+		ends = append(ends, end)
+	})
+	e.Run()
+	if len(ends) != 2 {
+		t.Fatalf("ran %d completions, want 2", len(ends))
+	}
+	if p.BusyTime() != 5 {
+		t.Fatalf("busy = %v, want 5", p.BusyTime())
+	}
+}
+
+func TestProcessorHonorsEarliest(t *testing.T) {
+	e := New()
+	p := NewProcessor(e)
+	end := p.Submit(10, 1, nil)
+	if end != 11 {
+		t.Fatalf("end = %v, want 11", end)
+	}
+	if p.FreeAt() != 11 {
+		t.Fatalf("freeAt = %v, want 11", p.FreeAt())
+	}
+}
+
+func TestProcessorAdvance(t *testing.T) {
+	e := New()
+	p := NewProcessor(e)
+	p.Advance(7)
+	if p.FreeAt() != 7 {
+		t.Fatalf("freeAt = %v, want 7", p.FreeAt())
+	}
+	p.Advance(3) // earlier; no effect
+	if p.FreeAt() != 7 {
+		t.Fatalf("freeAt moved backwards: %v", p.FreeAt())
+	}
+	if end := p.Submit(0, 1, nil); end != 8 {
+		t.Fatalf("end = %v, want 8", end)
+	}
+}
+
+// Property: a processor's busy time equals the sum of submitted
+// durations, and completions never overlap.
+func TestProcessorNoOverlapProperty(t *testing.T) {
+	f := func(durs []uint8) bool {
+		e := New()
+		p := NewProcessor(e)
+		var total Time
+		type span struct{ s, e Time }
+		var spans []span
+		for _, d := range durs {
+			dur := Time(d) / 10
+			total += dur
+			p.Submit(0, dur, func(s, end Time) { spans = append(spans, span{s, end}) })
+		}
+		e.Run()
+		if p.BusyTime() != total {
+			return false
+		}
+		for i := 1; i < len(spans); i++ {
+			if spans[i].s < spans[i-1].e {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package sim
+
+// Processor models a serially-busy resource (a CPU, a network link, a
+// DMA engine). Work items submitted to it execute one after another;
+// each occupies the resource for its stated duration.
+type Processor struct {
+	eng *Engine
+	// freeAt is the earliest virtual time at which the resource can
+	// start new work.
+	freeAt Time
+	// busy accumulates total occupied time, for utilization metrics.
+	busy Time
+}
+
+// NewProcessor returns a resource bound to eng, free at time zero.
+func NewProcessor(eng *Engine) *Processor {
+	return &Processor{eng: eng}
+}
+
+// FreeAt returns the earliest time the resource can start new work.
+func (p *Processor) FreeAt() Time { return p.freeAt }
+
+// BusyTime returns the total time the resource has been occupied.
+func (p *Processor) BusyTime() Time { return p.busy }
+
+// Submit occupies the resource for d seconds starting no earlier than
+// both `earliest` and the resource's free time, then invokes done (if
+// non-nil) at the completion time. It returns the completion time.
+func (p *Processor) Submit(earliest Time, d Time, done func(start, end Time)) Time {
+	start := p.freeAt
+	if earliest > start {
+		start = earliest
+	}
+	if start < p.eng.Now() {
+		start = p.eng.Now()
+	}
+	end := start + d
+	p.freeAt = end
+	p.busy += d
+	if done != nil {
+		p.eng.At(end, func() { done(start, end) })
+	}
+	return end
+}
+
+// Advance moves the resource's free time forward to t if t is later.
+// Used when a processor must idle until an external condition.
+func (p *Processor) Advance(t Time) {
+	if t > p.freeAt {
+		p.freeAt = t
+	}
+}

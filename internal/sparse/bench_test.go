@@ -1,0 +1,53 @@
+package sparse
+
+import "testing"
+
+// BenchmarkAnalyze measures the symbolic factorization (etree + fill)
+// of a mid-size stiffness matrix.
+func BenchmarkAnalyze(b *testing.B) {
+	a := Grid3D(8, 8, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(a, 16)
+	}
+}
+
+// BenchmarkFactorSerial measures the numeric panel factorization.
+func BenchmarkFactorSerial(b *testing.B) {
+	a := Grid3D(8, 8, 8)
+	sym := Analyze(a, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewFactor(a, sym)
+		if err := f.FactorSerial(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRCM measures the ordering heuristic.
+func BenchmarkRCM(b *testing.B) {
+	a := Grid3D(8, 8, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RCM(a)
+	}
+}
+
+// BenchmarkSolve measures the triangular solves.
+func BenchmarkSolve(b *testing.B) {
+	a := Grid3D(8, 8, 8)
+	sym := Analyze(a, 16)
+	f := NewFactor(a, sym)
+	if err := f.FactorSerial(); err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, a.N)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Solve(rhs)
+	}
+}

@@ -1,0 +1,220 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Factor holds the numeric Cholesky factor L organized by the
+// symbolic panel partition. The Panel Cholesky application mutates it
+// through the two task kernels: Internal (factorize one panel) and
+// External (one factored panel updates a later panel) — exactly the
+// two task kinds the paper describes (§4).
+type Factor struct {
+	Sym  *Symbolic
+	Cols []FCol
+}
+
+// FCol is one column of L: the fill pattern rows (ascending, starting
+// at the diagonal) and the numeric values.
+type FCol struct {
+	Rows []int
+	Vals []float64
+}
+
+// NewFactor initializes the factor with A's values scattered into the
+// fill pattern (zeros in fill positions).
+func NewFactor(a *CSC, sym *Symbolic) *Factor {
+	f := &Factor{Sym: sym, Cols: make([]FCol, a.N)}
+	for j := 0; j < a.N; j++ {
+		pat := sym.Pattern[j]
+		vals := make([]float64, len(pat))
+		arows, avals := a.Col(j)
+		for k, i := range arows {
+			pos := sort.SearchInts(pat, i)
+			if pos >= len(pat) || pat[pos] != i {
+				panic(fmt.Sprintf("sparse: A(%d,%d) missing from fill pattern", i, j))
+			}
+			vals[pos] = avals[k]
+		}
+		f.Cols[j] = FCol{Rows: pat, Vals: vals}
+	}
+	return f
+}
+
+// cmodColumn applies column src's outer-product contribution to the
+// columns it reaches within [targetLo, targetHi): the classic cmod
+// kernel. src must already be in final (cdiv-ed) form.
+func (f *Factor) cmodColumn(src int, targetLo, targetHi int) {
+	col := &f.Cols[src]
+	for ti, t := range col.Rows {
+		if t < targetLo {
+			continue
+		}
+		if t >= targetHi {
+			break
+		}
+		m := col.Vals[ti]
+		if m == 0 {
+			continue
+		}
+		tcol := &f.Cols[t]
+		// Subtract m · col[r] from column t at each row r ≥ t in src's
+		// pattern. Fill closure guarantees every such r appears in
+		// t's pattern; walk both sorted lists in tandem.
+		tp := 0
+		for idx := ti; idx < len(col.Rows); idx++ {
+			r := col.Rows[idx]
+			for tp < len(tcol.Rows) && tcol.Rows[tp] < r {
+				tp++
+			}
+			if tp >= len(tcol.Rows) || tcol.Rows[tp] != r {
+				panic(fmt.Sprintf("sparse: fill closure violated: row %d of column %d missing from column %d", r, src, t))
+			}
+			tcol.Vals[tp] -= m * col.Vals[idx]
+		}
+	}
+}
+
+// Internal factorizes panel p in place: intra-panel updates followed
+// by cdiv of each column (the paper's internal update task).
+func (f *Factor) Internal(p int) error {
+	lo, hi := f.Sym.PanelCols(p)
+	for j := lo; j < hi; j++ {
+		// Updates from earlier columns of the same panel.
+		for jc := lo; jc < j; jc++ {
+			f.cmodColumn(jc, j, j+1)
+		}
+		col := &f.Cols[j]
+		d := col.Vals[0]
+		if d <= 0 {
+			return fmt.Errorf("sparse: panel %d column %d: pivot %g not positive", p, j, d)
+		}
+		d = math.Sqrt(d)
+		col.Vals[0] = d
+		for k := 1; k < len(col.Vals); k++ {
+			col.Vals[k] /= d
+		}
+	}
+	return nil
+}
+
+// External applies factored panel q's contributions to panel k (the
+// paper's external update task: reads panel q, updates panel k).
+func (f *Factor) External(k, q int) {
+	lo, hi := f.Sym.PanelCols(k)
+	qlo, qhi := f.Sym.PanelCols(q)
+	for j := qlo; j < qhi; j++ {
+		f.cmodColumn(j, lo, hi)
+	}
+}
+
+// FactorSerial runs the whole factorization serially in the canonical
+// panel order — the reference the Jade version must match exactly.
+func (f *Factor) FactorSerial() error {
+	overlaps := f.Sym.Overlaps()
+	for p := 0; p < f.Sym.NumPanels(); p++ {
+		for _, q := range overlaps[p] {
+			f.External(p, q)
+		}
+		if err := f.Internal(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InternalFlops estimates the floating-point work of Internal(p).
+func (s *Symbolic) InternalFlops(p int) float64 {
+	lo, hi := s.PanelCols(p)
+	fl := 0.0
+	for j := lo; j < hi; j++ {
+		nj := float64(len(s.Pattern[j]))
+		fl += nj + 1 // cdiv
+		// Intra-panel cmods: rows of earlier columns landing in [lo,hi).
+		for jc := lo; jc < j; jc++ {
+			fl += s.cmodFlops(jc, j, j+1)
+		}
+	}
+	return fl
+}
+
+// ExternalFlops estimates the floating-point work of External(k,q).
+func (s *Symbolic) ExternalFlops(k, q int) float64 {
+	lo, hi := s.PanelCols(k)
+	qlo, qhi := s.PanelCols(q)
+	fl := 0.0
+	for j := qlo; j < qhi; j++ {
+		fl += s.cmodFlops(j, lo, hi)
+	}
+	return fl
+}
+
+// cmodFlops counts the multiply-subtract pairs cmodColumn(src,
+// targetLo, targetHi) performs.
+func (s *Symbolic) cmodFlops(src, targetLo, targetHi int) float64 {
+	pat := s.Pattern[src]
+	fl := 0.0
+	for ti, t := range pat {
+		if t < targetLo {
+			continue
+		}
+		if t >= targetHi {
+			break
+		}
+		fl += 2 * float64(len(pat)-ti)
+	}
+	return fl
+}
+
+// PanelBytes returns the in-memory size of panel p (values plus row
+// indices), used as the Jade shared-object size.
+func (s *Symbolic) PanelBytes(p int) int {
+	lo, hi := s.PanelCols(p)
+	bytes := 0
+	for j := lo; j < hi; j++ {
+		bytes += len(s.Pattern[j]) * 12 // 8-byte value + 4-byte row index
+	}
+	return bytes
+}
+
+// DenseL expands the factor to a dense lower-triangular matrix.
+func (f *Factor) DenseL() [][]float64 {
+	n := f.Sym.N
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		for k, r := range f.Cols[j].Rows {
+			l[r][j] = f.Cols[j].Vals[k]
+		}
+	}
+	return l
+}
+
+// Solve solves A·x = b given the completed factor (forward then
+// backward substitution), overwriting and returning x.
+func (f *Factor) Solve(b []float64) []float64 {
+	n := f.Sym.N
+	x := make([]float64, n)
+	copy(x, b)
+	// Forward: L·y = b.
+	for j := 0; j < n; j++ {
+		col := &f.Cols[j]
+		x[j] /= col.Vals[0]
+		for k := 1; k < len(col.Rows); k++ {
+			x[col.Rows[k]] -= col.Vals[k] * x[j]
+		}
+	}
+	// Backward: Lᵀ·x = y.
+	for j := n - 1; j >= 0; j-- {
+		col := &f.Cols[j]
+		for k := 1; k < len(col.Rows); k++ {
+			x[j] -= col.Vals[k] * x[col.Rows[k]]
+		}
+		x[j] /= col.Vals[0]
+	}
+	return x
+}

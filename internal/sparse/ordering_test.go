@@ -1,0 +1,104 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRCMIsPermutation(t *testing.T) {
+	a := Grid2D(7, 5)
+	perm := RCM(a)
+	if !IsPermutation(perm) {
+		t.Fatalf("RCM produced a non-permutation: %v", perm)
+	}
+}
+
+func TestRCMReducesBandwidthOnShuffledGrid(t *testing.T) {
+	// Scramble a banded matrix, then check RCM recovers a small
+	// bandwidth.
+	a := Grid2D(20, 3)
+	rng := rand.New(rand.NewSource(7))
+	shuffle := Identity(a.N)
+	rng.Shuffle(len(shuffle), func(i, j int) { shuffle[i], shuffle[j] = shuffle[j], shuffle[i] })
+	scrambled := Permute(a, shuffle)
+	if Bandwidth(scrambled) <= Bandwidth(a) {
+		t.Skip("shuffle accidentally kept the band")
+	}
+	reordered := Permute(scrambled, RCM(scrambled))
+	if Bandwidth(reordered) >= Bandwidth(scrambled) {
+		t.Fatalf("RCM did not reduce bandwidth: %d -> %d",
+			Bandwidth(scrambled), Bandwidth(reordered))
+	}
+}
+
+func TestPermuteRoundTripPreservesValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandomSPD(15, 0.3, rng)
+	perm := RCM(a)
+	b := Permute(a, perm)
+	// The permuted matrix must be the same matrix under relabeling:
+	// b[k1][k2] == a[perm[k1]][perm[k2]].
+	da, db := a.Dense(), b.Dense()
+	for k1 := 0; k1 < a.N; k1++ {
+		for k2 := 0; k2 < a.N; k2++ {
+			if db[k1][k2] != da[perm[k1]][perm[k2]] {
+				t.Fatalf("permute mismatch at (%d,%d)", k1, k2)
+			}
+		}
+	}
+}
+
+func TestPermutedMatrixStillFactors(t *testing.T) {
+	a := Grid3D(4, 4, 4)
+	b := Permute(a, RCM(a))
+	sym := Analyze(b, 6)
+	f := NewFactor(b, sym)
+	if err := f.FactorSerial(); err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(MulLLT(f.DenseL()), b.Dense()); d > 1e-9 {
+		t.Fatalf("permuted factorization off by %g", d)
+	}
+}
+
+func TestRCMOrderingReducesFillOnScrambledMatrix(t *testing.T) {
+	a := Grid2D(16, 4)
+	rng := rand.New(rand.NewSource(11))
+	shuffle := Identity(a.N)
+	rng.Shuffle(len(shuffle), func(i, j int) { shuffle[i], shuffle[j] = shuffle[j], shuffle[i] })
+	scrambled := Permute(a, shuffle)
+
+	natural := Analyze(scrambled, 4).NNZL()
+	ordered := Analyze(Permute(scrambled, RCM(scrambled)), 4).NNZL()
+	if ordered >= natural {
+		t.Fatalf("RCM did not reduce fill: natural %d, rcm %d", natural, ordered)
+	}
+}
+
+func TestIdentityAndIsPermutation(t *testing.T) {
+	if !IsPermutation(Identity(5)) {
+		t.Fatal("identity is a permutation")
+	}
+	if IsPermutation([]int{0, 0, 2}) {
+		t.Fatal("duplicate accepted")
+	}
+	if IsPermutation([]int{0, 3}) {
+		t.Fatal("out-of-range accepted")
+	}
+}
+
+// Property: RCM output is always a permutation, and permuting twice by
+// it round-trips entry values.
+func TestRCMPermutationProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 4 + int(nRaw)%16
+		rng := rand.New(rand.NewSource(seed))
+		a := RandomSPD(n, 0.25, rng)
+		perm := RCM(a)
+		return IsPermutation(perm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

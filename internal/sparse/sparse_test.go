@@ -1,0 +1,316 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGrid2DStructure(t *testing.T) {
+	a := Grid2D(3, 3)
+	if a.N != 9 {
+		t.Fatalf("N = %d, want 9", a.N)
+	}
+	// Lower triangle of the 5-point stencil: diagonal + right + down
+	// neighbors = 9 + 6 + 6 = 21 entries.
+	if a.NNZ() != 21 {
+		t.Fatalf("NNZ = %d, want 21", a.NNZ())
+	}
+	if a.At(0, 0) != 4.5 {
+		t.Fatalf("A(0,0) = %v, want 4.5", a.At(0, 0))
+	}
+	if a.At(1, 0) != -1 {
+		t.Fatalf("A(1,0) = %v, want -1", a.At(1, 0))
+	}
+	if a.At(3, 0) != -1 {
+		t.Fatalf("A(3,0) = %v (down neighbor), want -1", a.At(3, 0))
+	}
+}
+
+func TestGrid3DSizeMatchesBCSSTK15Scale(t *testing.T) {
+	a := Grid3D(16, 16, 16)
+	if a.N != 4096 {
+		t.Fatalf("N = %d, want 4096", a.N)
+	}
+	// BCSSTK15 has n=3948, nnz≈117k (lower triangle incl. diagonal).
+	// The 27-point grid should land in the same density regime.
+	perRow := float64(2*a.NNZ()-a.N) / float64(a.N)
+	if perRow < 15 || perRow > 35 {
+		t.Fatalf("density %f entries/row, want BCSSTK15-like (15–35)", perRow)
+	}
+}
+
+func TestEliminationTreeChain(t *testing.T) {
+	// Tridiagonal matrix: etree is a chain.
+	a := Grid2D(4, 1)
+	parent := EliminationTree(a)
+	for j := 0; j < 3; j++ {
+		if parent[j] != j+1 {
+			t.Fatalf("parent[%d] = %d, want %d", j, parent[j], j+1)
+		}
+	}
+	if parent[3] != -1 {
+		t.Fatalf("root parent = %d, want -1", parent[3])
+	}
+}
+
+func TestFillPatternContainsA(t *testing.T) {
+	a := Grid2D(5, 5)
+	sym := Analyze(a, 4)
+	for j := 0; j < a.N; j++ {
+		rows, _ := a.Col(j)
+		pat := sym.Pattern[j]
+		set := map[int]bool{}
+		for _, r := range pat {
+			set[r] = true
+		}
+		for _, r := range rows {
+			if !set[r] {
+				t.Fatalf("A(%d,%d) missing from fill pattern", r, j)
+			}
+		}
+		if pat[0] != j {
+			t.Fatalf("pattern of column %d does not start at diagonal", j)
+		}
+	}
+}
+
+func TestFillClosureProperty(t *testing.T) {
+	// If r,t ∈ pattern(j) with r > t > j then r ∈ pattern(t).
+	a := Grid2D(6, 4)
+	sym := Analyze(a, 3)
+	inPat := func(col, row int) bool {
+		for _, r := range sym.Pattern[col] {
+			if r == row {
+				return true
+			}
+		}
+		return false
+	}
+	for j := 0; j < a.N; j++ {
+		pat := sym.Pattern[j]
+		for a1 := 1; a1 < len(pat); a1++ {
+			for a2 := a1 + 1; a2 < len(pat); a2++ {
+				if !inPat(pat[a1], pat[a2]) {
+					t.Fatalf("closure violated: %d ∈ pat(%d) but not in pat(%d)", pat[a2], j, pat[a1])
+				}
+			}
+		}
+	}
+}
+
+func TestPanelPartition(t *testing.T) {
+	a := Grid2D(5, 2) // n=10
+	sym := Analyze(a, 4)
+	if sym.NumPanels() != 3 {
+		t.Fatalf("panels = %d, want 3 (4+4+2)", sym.NumPanels())
+	}
+	lo, hi := sym.PanelCols(2)
+	if lo != 8 || hi != 10 {
+		t.Fatalf("panel 2 = [%d,%d), want [8,10)", lo, hi)
+	}
+	for j := 0; j < 10; j++ {
+		if sym.PanelOf[j] != j/4 {
+			t.Fatalf("PanelOf[%d] = %d", j, sym.PanelOf[j])
+		}
+	}
+}
+
+func TestOverlapsAreEarlierPanels(t *testing.T) {
+	a := Grid2D(6, 6)
+	sym := Analyze(a, 4)
+	ov := sym.Overlaps()
+	for p, qs := range ov {
+		for _, q := range qs {
+			if q >= p {
+				t.Fatalf("overlap list of %d contains %d (not earlier)", p, q)
+			}
+		}
+	}
+	// A grid Laplacian certainly produces at least one overlap.
+	total := 0
+	for _, qs := range ov {
+		total += len(qs)
+	}
+	if total == 0 {
+		t.Fatal("no overlapping panel pairs found")
+	}
+}
+
+func TestDenseCholeskyKnown(t *testing.T) {
+	a := [][]float64{{4, 2}, {2, 5}}
+	l, err := DenseCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l[0][0] != 2 || l[1][0] != 1 || l[1][1] != 2 {
+		t.Fatalf("L = %v, want [[2,0],[1,2]]", l)
+	}
+}
+
+func TestDenseCholeskyRejectsIndefinite(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 1}}
+	if _, err := DenseCholesky(a); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+func TestSerialFactorMatchesDense(t *testing.T) {
+	a := Grid2D(5, 4)
+	sym := Analyze(a, 3)
+	f := NewFactor(a, sym)
+	if err := f.FactorSerial(); err != nil {
+		t.Fatal(err)
+	}
+	dense := a.Dense()
+	want, err := DenseCholesky(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(f.DenseL(), want); d > 1e-10 {
+		t.Fatalf("sparse vs dense factor differ by %g", d)
+	}
+}
+
+func TestFactorReconstructsA(t *testing.T) {
+	a := Grid3D(4, 4, 3)
+	sym := Analyze(a, 6)
+	f := NewFactor(a, sym)
+	if err := f.FactorSerial(); err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(MulLLT(f.DenseL()), a.Dense()); d > 1e-9 {
+		t.Fatalf("L·Lᵀ differs from A by %g", d)
+	}
+}
+
+func TestSolve(t *testing.T) {
+	a := Grid2D(4, 4)
+	sym := Analyze(a, 4)
+	f := NewFactor(a, sym)
+	if err := f.FactorSerial(); err != nil {
+		t.Fatal(err)
+	}
+	n := a.N
+	// Build b = A·ones.
+	dense := a.Dense()
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b[i] += dense[i][j]
+		}
+	}
+	x := f.Solve(b)
+	for i, v := range x {
+		if math.Abs(v-1) > 1e-10 {
+			t.Fatalf("x[%d] = %g, want 1", i, v)
+		}
+	}
+}
+
+// Property: random SPD matrices factor correctly for any panel width.
+func TestRandomSPDFactorProperty(t *testing.T) {
+	f := func(seed int64, nRaw, wRaw uint8) bool {
+		n := 5 + int(nRaw)%20
+		w := 1 + int(wRaw)%7
+		rng := rand.New(rand.NewSource(seed))
+		a := RandomSPD(n, 0.3, rng)
+		sym := Analyze(a, w)
+		fa := NewFactor(a, sym)
+		if err := fa.FactorSerial(); err != nil {
+			return false
+		}
+		return MaxAbsDiff(MulLLT(fa.DenseL()), a.Dense()) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlopEstimatesPositive(t *testing.T) {
+	a := Grid2D(8, 8)
+	sym := Analyze(a, 4)
+	ov := sym.Overlaps()
+	for p := 0; p < sym.NumPanels(); p++ {
+		if sym.InternalFlops(p) <= 0 {
+			t.Fatalf("InternalFlops(%d) <= 0", p)
+		}
+		if sym.PanelBytes(p) <= 0 {
+			t.Fatalf("PanelBytes(%d) <= 0", p)
+		}
+		for _, q := range ov[p] {
+			if sym.ExternalFlops(p, q) <= 0 {
+				t.Fatalf("ExternalFlops(%d,%d) <= 0", p, q)
+			}
+		}
+	}
+}
+
+func TestColFlops(t *testing.T) {
+	a := Grid2D(4, 1)
+	sym := Analyze(a, 2)
+	for j := 0; j < a.N; j++ {
+		nj := float64(len(sym.Pattern[j]))
+		if got := sym.ColFlops(j); got != nj*nj+nj {
+			t.Fatalf("ColFlops(%d) = %v", j, got)
+		}
+	}
+}
+
+func TestSupernodeStartsTridiagonal(t *testing.T) {
+	// Tridiagonal: pattern(j) = {j, j+1}, so pattern(j)\{j} = {j+1}
+	// never equals pattern(j+1) = {j+1, j+2} — every interior column
+	// is its own supernode. Only the last column nests into its
+	// predecessor (pattern(n-2)\{n-2} = {n-1} = pattern(n-1)).
+	a := Grid2D(6, 1)
+	sym := Analyze(a, 100)
+	starts := supernodeStarts(sym.Pattern)
+	want := []int{0, 1, 2, 3, 4}
+	if len(starts) != len(want) {
+		t.Fatalf("starts = %v, want %v", starts, want)
+	}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Fatalf("starts = %v, want %v", starts, want)
+		}
+	}
+}
+
+func TestAnalyzeSupernodalFactorsCorrectly(t *testing.T) {
+	a := Grid3D(4, 3, 3)
+	sym := AnalyzeSupernodal(a, 8)
+	if sym.NumPanels() < 2 {
+		t.Fatalf("only %d supernodal panels", sym.NumPanels())
+	}
+	// Panels must partition the columns contiguously.
+	for p := 0; p < sym.NumPanels(); p++ {
+		lo, hi := sym.PanelCols(p)
+		if hi <= lo {
+			t.Fatalf("empty panel %d", p)
+		}
+		for j := lo; j < hi; j++ {
+			if sym.PanelOf[j] != p {
+				t.Fatalf("PanelOf[%d] = %d, want %d", j, sym.PanelOf[j], p)
+			}
+		}
+	}
+	f := NewFactor(a, sym)
+	if err := f.FactorSerial(); err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(MulLLT(f.DenseL()), a.Dense()); d > 1e-9 {
+		t.Fatalf("supernodal panel factorization off by %g", d)
+	}
+}
+
+func TestAnalyzeSupernodalRespectsMaxWidth(t *testing.T) {
+	a := Grid2D(10, 1)
+	sym := AnalyzeSupernodal(a, 3)
+	for p := 0; p < sym.NumPanels(); p++ {
+		lo, hi := sym.PanelCols(p)
+		if hi-lo > 3 {
+			t.Fatalf("panel %d width %d exceeds max 3", p, hi-lo)
+		}
+	}
+}

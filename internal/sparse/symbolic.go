@@ -1,0 +1,241 @@
+package sparse
+
+import "sort"
+
+// Symbolic is the result of the symbolic factorization phase the paper
+// performs before timing the numeric factorization: the elimination
+// tree, the fill pattern of L, and the panel partition.
+type Symbolic struct {
+	N int
+	// Parent is the elimination tree (parent[j] = -1 for roots).
+	Parent []int
+	// Pattern[j] lists the row indices of column j of L (ascending,
+	// starting with the diagonal j).
+	Pattern [][]int
+	// Panels partitions columns into consecutive runs; Panels[p] is
+	// the first column of panel p and Panels[len-1+1] sentinel style:
+	// panel p covers [PanelStart[p], PanelStart[p+1]).
+	PanelStart []int
+	// PanelOf maps a column to its panel.
+	PanelOf []int
+}
+
+// EliminationTree computes the elimination tree of a symmetric matrix
+// given its lower-triangular pattern (Liu's algorithm with path
+// compression).
+func EliminationTree(a *CSC) []int { return etreeFromRows(a) }
+
+// etreeFromRows computes the elimination tree by scanning, for each
+// row i, the columns k<i with A(i,k)≠0, using path compression.
+func etreeFromRows(a *CSC) []int {
+	n := a.N
+	// Build row adjacency: for each i, the list of k<i with a(i,k)!=0.
+	rowAdj := make([][]int, n)
+	for k := 0; k < n; k++ {
+		rows, _ := a.Col(k)
+		for _, i := range rows {
+			if i > k {
+				rowAdj[i] = append(rowAdj[i], k)
+			}
+		}
+	}
+	parent := make([]int, n)
+	ancestor := make([]int, n)
+	for i := 0; i < n; i++ {
+		parent[i] = -1
+		ancestor[i] = -1
+		for _, k := range rowAdj[i] {
+			// Traverse from k to the root of its current subtree,
+			// compressing the path to i.
+			for j := k; j != -1 && j < i; {
+				next := ancestor[j]
+				ancestor[j] = i
+				if next == -1 {
+					parent[j] = i
+				}
+				j = next
+			}
+		}
+	}
+	return parent
+}
+
+// FillPattern computes the row pattern of every column of L given the
+// matrix pattern and the elimination tree: pattern(j) is the union of
+// A's column j (rows ≥ j) and the patterns of j's etree children
+// restricted to rows > j.
+func FillPattern(a *CSC, parent []int) [][]int {
+	n := a.N
+	children := make([][]int, n)
+	for j := 0; j < n; j++ {
+		if p := parent[j]; p != -1 {
+			children[p] = append(children[p], j)
+		}
+	}
+	pattern := make([][]int, n)
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for j := 0; j < n; j++ {
+		var rows []int
+		mark[j] = j
+		rows = append(rows, j)
+		arows, _ := a.Col(j)
+		for _, i := range arows {
+			if i > j && mark[i] != j {
+				mark[i] = j
+				rows = append(rows, i)
+			}
+		}
+		for _, c := range children[j] {
+			for _, i := range pattern[c] {
+				if i > j && mark[i] != j {
+					mark[i] = j
+					rows = append(rows, i)
+				}
+			}
+		}
+		sort.Ints(rows)
+		pattern[j] = rows
+	}
+	return pattern
+}
+
+// Analyze runs the symbolic factorization: elimination tree, fill
+// pattern, and a panel partition of the given width (the paper's
+// panels are several adjacent columns).
+func Analyze(a *CSC, panelWidth int) *Symbolic {
+	if panelWidth < 1 {
+		panelWidth = 1
+	}
+	parent := etreeFromRows(a)
+	pattern := FillPattern(a, parent)
+	s := &Symbolic{N: a.N, Parent: parent, Pattern: pattern}
+	s.PanelOf = make([]int, a.N)
+	for start := 0; start < a.N; start += panelWidth {
+		s.PanelStart = append(s.PanelStart, start)
+		end := start + panelWidth
+		if end > a.N {
+			end = a.N
+		}
+		for j := start; j < end; j++ {
+			s.PanelOf[j] = len(s.PanelStart) - 1
+		}
+	}
+	s.PanelStart = append(s.PanelStart, a.N)
+	return s
+}
+
+// NumPanels returns the panel count.
+func (s *Symbolic) NumPanels() int { return len(s.PanelStart) - 1 }
+
+// PanelCols returns the column range [lo, hi) of panel p.
+func (s *Symbolic) PanelCols(p int) (lo, hi int) {
+	return s.PanelStart[p], s.PanelStart[p+1]
+}
+
+// Overlaps returns, for each panel p, the ascending list of earlier
+// panels q<p whose columns have nonzeros in p's column range — the
+// pairs that generate external update tasks.
+func (s *Symbolic) Overlaps() [][]int {
+	np := s.NumPanels()
+	seen := make([]int, np)
+	for i := range seen {
+		seen[i] = -1
+	}
+	overlaps := make([][]int, np)
+	for q := 0; q < np; q++ {
+		lo, hi := s.PanelCols(q)
+		for j := lo; j < hi; j++ {
+			for _, r := range s.Pattern[j] {
+				p := s.PanelOf[r]
+				if p > q && seen[p] != q {
+					seen[p] = q
+					overlaps[p] = append(overlaps[p], q)
+				}
+			}
+		}
+	}
+	for p := range overlaps {
+		sort.Ints(overlaps[p])
+	}
+	return overlaps
+}
+
+// NNZL returns the number of nonzeros in L implied by the fill
+// pattern.
+func (s *Symbolic) NNZL() int {
+	total := 0
+	for _, rows := range s.Pattern {
+		total += len(rows)
+	}
+	return total
+}
+
+// ColFlops returns the floating-point operations attributable to
+// column j in a column-Cholesky factorization: |pattern(j)|² for the
+// updates it emits plus |pattern(j)| for the scale, a standard
+// estimate used to cost tasks.
+func (s *Symbolic) ColFlops(j int) float64 {
+	nj := float64(len(s.Pattern[j]))
+	return nj*nj + nj
+}
+
+// supernodeStarts detects supernodes: maximal runs of consecutive
+// columns with nested fill patterns (pattern(j+1) = pattern(j) \ {j}),
+// the structure supernodal factorization codes exploit. It returns
+// the first column of each supernode.
+func supernodeStarts(pattern [][]int) []int {
+	n := len(pattern)
+	starts := []int{0}
+	for j := 1; j < n; j++ {
+		prev, cur := pattern[j-1], pattern[j]
+		// Nested iff prev minus its diagonal equals cur.
+		nested := len(prev) == len(cur)+1 && prev[0] == j-1
+		if nested {
+			for k := range cur {
+				if prev[k+1] != cur[k] {
+					nested = false
+					break
+				}
+			}
+		}
+		if !nested {
+			starts = append(starts, j)
+		}
+	}
+	return starts
+}
+
+// AnalyzeSupernodal runs the symbolic factorization with panels
+// aligned to supernode boundaries: each panel is a maximal run of
+// nested columns, split at maxWidth. This is the "several adjacent
+// columns" panel structure of supernodal codes; compare Analyze,
+// which slices panels blindly.
+func AnalyzeSupernodal(a *CSC, maxWidth int) *Symbolic {
+	if maxWidth < 1 {
+		maxWidth = 1
+	}
+	parent := etreeFromRows(a)
+	pattern := FillPattern(a, parent)
+	s := &Symbolic{N: a.N, Parent: parent, Pattern: pattern}
+	s.PanelOf = make([]int, a.N)
+
+	starts := supernodeStarts(pattern)
+	starts = append(starts, a.N)
+	for i := 0; i+1 < len(starts); i++ {
+		for lo := starts[i]; lo < starts[i+1]; lo += maxWidth {
+			hi := lo + maxWidth
+			if hi > starts[i+1] {
+				hi = starts[i+1]
+			}
+			s.PanelStart = append(s.PanelStart, lo)
+			for j := lo; j < hi; j++ {
+				s.PanelOf[j] = len(s.PanelStart) - 1
+			}
+		}
+	}
+	s.PanelStart = append(s.PanelStart, a.N)
+	return s
+}

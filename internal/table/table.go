@@ -1,0 +1,169 @@
+// Package table renders paper-style tables and ASCII line plots for
+// the experiment harness.
+package table
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title string
+	Head  []string
+	Rows  [][]string
+}
+
+// Cell formats a float for table display.
+func Cell(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Head))
+	for i, h := range t.Head {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Head)
+	total := 2
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Repeat("-", total-2))
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one line of an ASCII plot.
+type Series struct {
+	Label  string
+	X      []float64
+	Y      []float64
+	Marker byte
+}
+
+// Plot renders series as a simple ASCII scatter/line chart, the
+// harness's stand-in for the paper's figures.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height are the plot grid size (defaults 64×20).
+	Width, Height int
+}
+
+// Render draws the plot.
+func (p *Plot) Render(w io.Writer) {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 18
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // y axis anchored at zero like the paper's figures
+	for _, s := range p.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) || maxY <= minY {
+		fmt.Fprintf(w, "%s\n  (no data)\n", p.Title)
+		return
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(x, y float64, m byte) {
+		c := int((x - minX) / (maxX - minX + 1e-12) * float64(width-1))
+		r := int((y - minY) / (maxY - minY + 1e-12) * float64(height-1))
+		r = height - 1 - r
+		if c >= 0 && c < width && r >= 0 && r < height {
+			grid[r][c] = m
+		}
+	}
+	for _, s := range p.Series {
+		// Linear interpolation between points for a line-ish look.
+		for i := 0; i+1 < len(s.X); i++ {
+			steps := 16
+			for t := 0; t <= steps; t++ {
+				f := float64(t) / float64(steps)
+				put(s.X[i]+f*(s.X[i+1]-s.X[i]), s.Y[i]+f*(s.Y[i+1]-s.Y[i]), '.')
+			}
+		}
+		for i := range s.X {
+			put(s.X[i], s.Y[i], s.Marker)
+		}
+	}
+	if p.Title != "" {
+		fmt.Fprintf(w, "%s\n", p.Title)
+	}
+	fmt.Fprintf(w, "  %s\n", p.YLabel)
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%8.3g", maxY)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%8.3g", minY)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-8.3g%s%8.3g  (%s)\n", strings.Repeat(" ", 8), minX,
+		strings.Repeat(" ", maxInt(0, width-18)), maxX, p.XLabel)
+	for _, s := range p.Series {
+		fmt.Fprintf(w, "          %c = %s\n", s.Marker, s.Label)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

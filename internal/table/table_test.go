@@ -1,0 +1,92 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCellFormats(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234:    "1234",
+		12.3456: "12.35",
+		1.2345:  "1.234",
+	}
+	for v, want := range cases {
+		if got := Cell(v); got != want {
+			t.Errorf("Cell(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := &Table{
+		Title: "demo",
+		Head:  []string{"name", "v"},
+		Rows:  [][]string{{"a", "1"}, {"longer", "22"}},
+	}
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, head, separator, two rows
+		t.Fatalf("got %d lines, want 5", len(lines))
+	}
+	// Columns align: "v" and the numbers start at the same offset.
+	head, rowB := lines[1], lines[4]
+	if strings.Index(head, "v") != strings.Index(rowB, "22") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestPlotRendersSeriesAndLegend(t *testing.T) {
+	p := &Plot{
+		Title:  "speedup",
+		XLabel: "procs",
+		YLabel: "time",
+		Series: []Series{
+			{Label: "fast", X: []float64{1, 2, 4}, Y: []float64{4, 2, 1}, Marker: '*'},
+			{Label: "slow", X: []float64{1, 2, 4}, Y: []float64{4, 3, 2.5}, Marker: 'o'},
+		},
+	}
+	var sb strings.Builder
+	p.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"speedup", "procs", "* = fast", "o = slow", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	var sb strings.Builder
+	p.Render(&sb)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatal("empty plot should say so")
+	}
+}
+
+func TestCellNegativeAndSmall(t *testing.T) {
+	if got := Cell(-1234.5); got != "-1234" {
+		t.Fatalf("Cell(-1234.5) = %q", got)
+	}
+	if got := Cell(0.00012345); got != "0.0001234" && got != "0.0001235" {
+		t.Fatalf("Cell(small) = %q", got)
+	}
+}
+
+func TestPlotAnchorsYAxisAtZero(t *testing.T) {
+	p := &Plot{
+		Series: []Series{{Label: "s", X: []float64{1, 2}, Y: []float64{50, 100}, Marker: '*'}},
+	}
+	var sb strings.Builder
+	p.Render(&sb)
+	if !strings.Contains(sb.String(), "       0 |") {
+		t.Fatalf("y axis not anchored at zero:\n%s", sb.String())
+	}
+}

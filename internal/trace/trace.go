@@ -1,0 +1,207 @@
+// Package trace records per-task execution events from the machine
+// models (creation, enabling, assignment, fetches, execution spans,
+// broadcasts) and renders them as an event log or a per-processor
+// ASCII Gantt chart. It exists for debugging schedules and for
+// inspecting how the communication optimizations change a run — the
+// visual counterpart of the metrics package.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds, in rough lifecycle order.
+const (
+	TaskCreated Kind = iota
+	TaskEnabled
+	TaskAssigned
+	FetchStart
+	FetchEnd
+	ExecStart
+	ExecEnd
+	TaskCompleted
+	Broadcast
+	Release
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case TaskCreated:
+		return "created"
+	case TaskEnabled:
+		return "enabled"
+	case TaskAssigned:
+		return "assigned"
+	case FetchStart:
+		return "fetch-start"
+	case FetchEnd:
+		return "fetch-end"
+	case ExecStart:
+		return "exec-start"
+	case ExecEnd:
+		return "exec-end"
+	case TaskCompleted:
+		return "completed"
+	case Broadcast:
+		return "broadcast"
+	case Release:
+		return "release"
+	}
+	return "unknown"
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     float64 // virtual seconds
+	Kind   Kind
+	Task   int // task ID, -1 if not task-related
+	Proc   int // processor, -1 if unknown
+	Detail string
+}
+
+// Trace accumulates events. Safe for concurrent use.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty trace.
+func New() *Trace { return &Trace{} }
+
+// Add records an event.
+func (t *Trace) Add(at float64, kind Kind, task, proc int, detail string) {
+	t.mu.Lock()
+	t.events = append(t.events, Event{At: at, Kind: kind, Task: task, Proc: proc, Detail: detail})
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in time order.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := append([]Event(nil), t.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Filter returns the events of one kind, in time order.
+func (t *Trace) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteLog writes the raw event log.
+func (t *Trace) WriteLog(w io.Writer) {
+	for _, e := range t.Events() {
+		task := "-"
+		if e.Task >= 0 {
+			task = fmt.Sprintf("t%d", e.Task)
+		}
+		proc := "-"
+		if e.Proc >= 0 {
+			proc = fmt.Sprintf("p%d", e.Proc)
+		}
+		fmt.Fprintf(w, "%12.6fs  %-12s %-6s %-4s %s\n", e.At, e.Kind, task, proc, e.Detail)
+	}
+}
+
+// span is an execution interval on a processor.
+type span struct {
+	start, end float64
+	task       int
+}
+
+// Gantt renders a per-processor timeline of task execution spans.
+// Each row is one processor; digits/letters identify tasks modulo 36;
+// '.' marks fetch waiting recorded between FetchStart and ExecStart.
+func (t *Trace) Gantt(w io.Writer, width int) {
+	if width <= 0 {
+		width = 96
+	}
+	events := t.Events()
+	if len(events) == 0 {
+		fmt.Fprintln(w, "(empty trace)")
+		return
+	}
+	var maxT float64
+	maxProc := 0
+	starts := map[[2]int]float64{} // {task, proc} -> exec start
+	fetches := map[[2]int]float64{}
+	spans := map[int][]span{}
+	fetchSpans := map[int][]span{}
+	for _, e := range events {
+		if e.At > maxT {
+			maxT = e.At
+		}
+		if e.Proc > maxProc {
+			maxProc = e.Proc
+		}
+		key := [2]int{e.Task, e.Proc}
+		switch e.Kind {
+		case FetchStart:
+			fetches[key] = e.At
+		case ExecStart:
+			starts[key] = e.At
+			if f, ok := fetches[key]; ok {
+				fetchSpans[e.Proc] = append(fetchSpans[e.Proc], span{f, e.At, e.Task})
+				delete(fetches, key)
+			}
+		case ExecEnd:
+			if s, ok := starts[key]; ok {
+				spans[e.Proc] = append(spans[e.Proc], span{s, e.At, e.Task})
+				delete(starts, key)
+			}
+		}
+	}
+	if maxT == 0 {
+		maxT = 1
+	}
+	col := func(at float64) int {
+		c := int(at / maxT * float64(width-1))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	glyph := func(task int) byte {
+		const alphabet = "0123456789abcdefghijklmnopqrstuvwxyz"
+		return alphabet[task%len(alphabet)]
+	}
+	fmt.Fprintf(w, "gantt: %d processors, %.6fs total, one column = %.2gs\n",
+		maxProc+1, maxT, maxT/float64(width))
+	for p := 0; p <= maxProc; p++ {
+		row := []byte(strings.Repeat(" ", width))
+		for _, s := range fetchSpans[p] {
+			for c := col(s.start); c <= col(s.end); c++ {
+				row[c] = '.'
+			}
+		}
+		for _, s := range spans[p] {
+			g := glyph(s.task)
+			for c := col(s.start); c <= col(s.end); c++ {
+				row[c] = g
+			}
+		}
+		fmt.Fprintf(w, "p%-3d |%s|\n", p, string(row))
+	}
+}
