@@ -1,0 +1,29 @@
+#!/bin/sh
+# ci.sh — the repository's tier-1 gate plus an observability smoke
+# test. Run from the repo root; exits non-zero on the first failure.
+set -eu
+
+echo "== gofmt =="
+unformatted=$(gofmt -l . 2>/dev/null)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== jadebench -json smoke =="
+# The emitted document must parse and carry the jadebench/v1 keys;
+# jsoncheck avoids a jq/python dependency.
+go run ./cmd/jadebench -experiment table4 -scale small -json |
+    go run ./internal/tools/jsoncheck schema scale experiments runs
+
+echo "CI OK"

@@ -6,6 +6,12 @@
 //	jadebench -list
 //	jadebench -experiment table4 [-scale small|paper]
 //	jadebench -experiment all [-scale small|paper] [-markdown]
+//	jadebench -experiment all -json
+//
+// With -json, the selected experiment tables plus one
+// observability-instrumented run per app/machine pair are emitted as
+// a single jadebench/v1 JSON document on stdout (see EXPERIMENTS.md
+// for the schema).
 package main
 
 import (
@@ -23,6 +29,7 @@ func main() {
 		expID    = flag.String("experiment", "all", "experiment ID (see -list) or \"all\"")
 		scaleStr = flag.String("scale", "small", "workload scale: small or paper")
 		markdown = flag.Bool("markdown", false, "emit markdown tables instead of text")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable jadebench/v1 JSON report")
 	)
 	flag.Parse()
 
@@ -48,6 +55,18 @@ func main() {
 	ids := []string{*expID}
 	if *expID == "all" {
 		ids = experiments.IDs()
+	}
+	if *jsonOut {
+		rep, err := experiments.BuildReport(ids, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	for _, id := range ids {
 		res, err := experiments.Run(id, scale)

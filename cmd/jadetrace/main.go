@@ -6,6 +6,12 @@
 // Usage:
 //
 //	jadetrace -app ocean -machine ipsc -procs 4 [-level locality] [-log]
+//	jadetrace -app ocean -machine ipsc -perfetto out.json
+//	jadetrace -app ocean -machine dash -hot 10
+//
+// -perfetto writes the trace in Chrome trace-event JSON, loadable in
+// ui.perfetto.dev or chrome://tracing. -hot N attaches the runtime
+// observer and prints the N hottest shared objects by bytes moved.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"repro/internal/dash"
 	"repro/internal/ipsc"
 	"repro/internal/jade"
+	"repro/internal/obsv"
 	"repro/internal/trace"
 )
 
@@ -32,9 +39,15 @@ func main() {
 	logEvents := flag.Bool("log", false, "print the raw event log too")
 	width := flag.Int("width", 96, "gantt width in columns")
 	verify := flag.Bool("verify", true, "validate the recorded schedule (conflicting tasks ordered, non-overlapping)")
+	perfetto := flag.String("perfetto", "", "write the trace as Chrome trace-event JSON to this file")
+	hot := flag.Int("hot", 0, "print the N hottest shared objects (attaches the observer)")
 	flag.Parse()
 
 	tr := trace.New()
+	var obs *obsv.Observer
+	if *hot > 0 {
+		obs = obsv.New(*procs)
+	}
 	var rt *jade.Runtime
 	place := *level == "placement"
 	switch *machine {
@@ -48,6 +61,7 @@ func main() {
 		}
 		m := dash.New(dash.DefaultConfig(*procs, lv))
 		m.Trace = tr
+		m.Obs = obs
 		rt = jade.New(m, jade.Config{})
 	case "ipsc":
 		lv := ipsc.Locality
@@ -59,6 +73,7 @@ func main() {
 		}
 		m := ipsc.New(ipsc.DefaultConfig(*procs, lv))
 		m.Trace = tr
+		m.Obs = obs
 		rt = jade.New(m, jade.Config{})
 	default:
 		fmt.Fprintf(os.Stderr, "jadetrace: unknown machine %q\n", *machine)
@@ -90,6 +105,28 @@ func main() {
 		os.Exit(2)
 	}
 	res := rt.Finish()
+
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jadetrace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.WritePerfetto(f, tr); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "jadetrace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "jadetrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d events; open in ui.perfetto.dev)\n", *perfetto, tr.Len())
+	}
+	if *hot > 0 {
+		obs.Snapshot(*hot).WriteHotObjects(os.Stdout)
+		fmt.Println()
+	}
 
 	if *logEvents {
 		tr.WriteLog(os.Stdout)

@@ -1,0 +1,80 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/apps/ocean"
+	"repro/internal/dash"
+	"repro/internal/ipsc"
+	"repro/internal/jade"
+	"repro/internal/trace"
+)
+
+// oceanTrace runs a small Ocean on the given pre-built machine and
+// returns its recorded trace.
+func oceanTrace(t *testing.T, m jade.Platform, tr *trace.Trace) *trace.Trace {
+	t.Helper()
+	rt := jade.New(m, jade.Config{})
+	cfg := ocean.Small()
+	cfg.N = 32
+	cfg.Iterations = 4
+	ocean.Run(rt, cfg)
+	rt.Finish()
+	if tr.Len() == 0 {
+		t.Fatal("trace recorded no events")
+	}
+	return tr
+}
+
+func TestEventOrderingOceanOnDash(t *testing.T) {
+	tr := trace.New()
+	m := dash.New(dash.DefaultConfig(4, dash.Locality))
+	m.Trace = tr
+	if err := EventOrdering(oceanTrace(t, m, tr)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventOrderingOceanOnIpsc(t *testing.T) {
+	tr := trace.New()
+	m := ipsc.New(ipsc.DefaultConfig(4, ipsc.Locality))
+	m.Trace = tr
+	if err := EventOrdering(oceanTrace(t, m, tr)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventOrderingCatchesRegression(t *testing.T) {
+	tr := trace.New()
+	tr.Add(0.5, trace.TaskCreated, 7, 0, "")
+	tr.Add(0.4, trace.ExecStart, 7, 0, "") // starts before creation
+	tr.Add(0.6, trace.ExecEnd, 7, 0, "")
+	if err := EventOrdering(tr); err == nil {
+		t.Fatal("exec before creation not detected")
+	}
+}
+
+func TestEventOrderingToleratesAbsentKinds(t *testing.T) {
+	// A model that emits only exec spans (no created/enabled/assigned)
+	// must still pass: absent kinds are skipped, not required.
+	tr := trace.New()
+	tr.Add(0.1, trace.ExecStart, 0, 0, "")
+	tr.Add(0.2, trace.ExecEnd, 0, 0, "")
+	if err := EventOrdering(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventOrderingStagedExecEnd(t *testing.T) {
+	// Staged tasks emit several exec segments; the last exec-end is the
+	// one that must follow everything else.
+	tr := trace.New()
+	tr.Add(0.0, trace.TaskCreated, 3, 0, "")
+	tr.Add(0.1, trace.ExecStart, 3, 0, "")
+	tr.Add(0.2, trace.ExecEnd, 3, 0, "")
+	tr.Add(0.3, trace.ExecStart, 3, 0, "")
+	tr.Add(0.4, trace.ExecEnd, 3, 0, "")
+	if err := EventOrdering(tr); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,6 +15,7 @@ package cluster
 import (
 	"repro/internal/jade"
 	"repro/internal/metrics"
+	"repro/internal/obsv"
 	"repro/internal/sim"
 )
 
@@ -92,10 +93,12 @@ type station struct {
 
 // taskState mirrors the scheduler/communicator bookkeeping.
 type taskState struct {
-	t      *jade.Task
-	target int
-	proc   int
-	needed int
+	t          *jade.Task
+	target     int
+	proc       int
+	needed     int
+	firstReq   sim.Time
+	lastArrive sim.Time
 }
 
 // Machine is the workstation-cluster platform implementing
@@ -111,6 +114,10 @@ type Machine struct {
 
 	pool        []*taskState
 	createdDone map[jade.TaskID]sim.Time
+
+	// Obs, when non-nil, collects structured observability data
+	// (per-object stats, latency histograms, state timelines).
+	Obs *obsv.Observer
 
 	stats    metrics.Run
 	execBase sim.Time
@@ -153,9 +160,21 @@ func (m *Machine) ObjectAllocated(o *jade.Object) {
 	m.stations[0].store[o.ID] = 0
 }
 
+// submitMgmt charges d seconds of task-management work to the main
+// workstation, recording a mgmt span when observability is on.
+func (m *Machine) submitMgmt(at sim.Time, d float64) sim.Time {
+	var done func(start, end sim.Time)
+	if m.Obs.Enabled() {
+		done = func(start, end sim.Time) {
+			m.Obs.Span(0, obsv.StateMgmt, float64(start), float64(end))
+		}
+	}
+	return m.stations[0].cpu.Submit(at, sim.Time(d), done)
+}
+
 // TaskCreated implements jade.Platform.
 func (m *Machine) TaskCreated(t *jade.Task, enabled bool) {
-	done := m.stations[0].cpu.Submit(m.eng.Now(), sim.Time(m.cfg.TaskCreateSec), nil)
+	done := m.submitMgmt(m.eng.Now(), m.cfg.TaskCreateSec)
 	m.stats.TaskMgmtTime += m.cfg.TaskCreateSec
 	m.createdDone[t.ID] = done
 	if enabled {
@@ -184,12 +203,18 @@ func (m *Machine) MainTouches(accs []jade.Access) {
 		o := a.Obj
 		if a.Reads() {
 			if v, ok := main.store[o.ID]; !ok || v != a.RequiredVersion {
-				req := m.bus.Submit(main.cpu.FreeAt(), sim.Time(m.cfg.busTime(m.cfg.RequestBytes)), nil)
+				issued := main.cpu.FreeAt()
+				req := m.bus.Submit(issued, sim.Time(m.cfg.busTime(m.cfg.RequestBytes)), nil)
 				rep := m.bus.Submit(req+sim.Time(m.cfg.MsgLatencySec), sim.Time(m.cfg.busTime(o.Size)), nil)
-				main.cpu.Advance(rep + sim.Time(m.cfg.MsgLatencySec))
+				arrive := rep + sim.Time(m.cfg.MsgLatencySec)
+				main.cpu.Advance(arrive)
 				main.store[o.ID] = a.RequiredVersion
 				m.stats.MsgBytes += int64(o.Size)
 				m.stats.MsgCount++
+				if m.Obs.Enabled() {
+					m.Obs.ObjectFetch(int(o.ID), o.Name, o.Size, float64(arrive-issued), m.owner[o.ID] != 0)
+					m.Obs.Span(0, obsv.StateFetch, float64(issued), float64(arrive))
+				}
 			}
 		}
 		if a.Writes() {
@@ -216,6 +241,7 @@ func (m *Machine) Stats() *metrics.Run {
 		}
 		m.stats.ProcBusy = append(m.stats.ProcBusy, b)
 	}
+	m.stats.Obsv = m.Obs.Snapshot(0)
 	return &m.stats
 }
 
@@ -227,6 +253,7 @@ func (m *Machine) ResetStats() {
 	for _, st := range m.stations {
 		m.busyBase = append(m.busyBase, float64(st.cpu.BusyTime()))
 	}
+	m.Obs.Reset()
 }
 
 // schedule assigns an enabled task: to the target owner's workstation
@@ -273,7 +300,7 @@ func (m *Machine) assign(ts *taskState, p int) {
 	st.load++
 	st.queued += ts.t.Work / m.cfg.Speeds[p]
 	m.stats.TaskMgmtTime += m.cfg.AssignSec
-	decided := m.stations[0].cpu.Submit(m.eng.Now(), sim.Time(m.cfg.AssignSec), nil)
+	decided := m.submitMgmt(m.eng.Now(), m.cfg.AssignSec)
 	if p == 0 {
 		m.eng.At(decided, func() { m.taskArrived(ts) })
 		return
@@ -305,17 +332,30 @@ func (m *Machine) taskArrived(ts *taskState) {
 		return
 	}
 	ts.needed = len(toFetch)
+	ts.firstReq = m.eng.Now()
 	for _, a := range toFetch {
 		a := a
-		req := m.bus.Submit(m.eng.Now(), sim.Time(m.cfg.busTime(m.cfg.RequestBytes)), nil)
+		issued := m.eng.Now()
+		req := m.bus.Submit(issued, sim.Time(m.cfg.busTime(m.cfg.RequestBytes)), nil)
 		rep := m.bus.Submit(req+sim.Time(m.cfg.MsgLatencySec), sim.Time(m.cfg.busTime(a.Obj.Size)), nil)
 		m.eng.At(rep+sim.Time(m.cfg.MsgLatencySec), func() {
 			st.store[a.Obj.ID] = a.RequiredVersion
 			m.stats.MsgBytes += int64(a.Obj.Size)
 			m.stats.MsgCount++
 			m.stats.ReplicatedReads++
+			if m.Obs.Enabled() {
+				m.Obs.ObjectFetch(int(a.Obj.ID), a.Obj.Name, a.Obj.Size,
+					float64(m.eng.Now()-issued), m.owner[a.Obj.ID] != p)
+			}
+			if m.eng.Now() > ts.lastArrive {
+				ts.lastArrive = m.eng.Now()
+			}
 			ts.needed--
 			if ts.needed == 0 {
+				if m.Obs.Enabled() {
+					m.Obs.TaskWait(float64(ts.lastArrive - ts.firstReq))
+					m.Obs.Span(p, obsv.StateFetch, float64(ts.firstReq), float64(ts.lastArrive))
+				}
 				m.ready(ts)
 			}
 		})
@@ -343,6 +383,7 @@ func (m *Machine) ready(ts *taskState) {
 				d += m.cfg.DispatchSec
 			}
 			m.stations[p].cpu.Submit(m.eng.Now(), sim.Time(d), func(start, end sim.Time) {
+				m.Obs.Span(p, obsv.StateTask, float64(start), float64(end))
 				for _, o := range segs[i].Release {
 					if a, ok := ts.t.AccessOn(o); ok && a.Writes() {
 						m.owner[o.ID] = p
@@ -364,6 +405,7 @@ func (m *Machine) ready(ts *taskState) {
 	}
 	m.rt.RunBody(ts.t)
 	m.stations[p].cpu.Submit(m.eng.Now(), sim.Time(m.cfg.DispatchSec+work), func(start, end sim.Time) {
+		m.Obs.Span(p, obsv.StateTask, float64(start), float64(end))
 		m.completed(ts)
 	})
 }
@@ -383,6 +425,7 @@ func (m *Machine) completed(ts *taskState) {
 	notify := func() {
 		m.stats.TaskMgmtTime += m.cfg.CompleteHandleSec
 		m.stations[0].cpu.Submit(m.eng.Now(), sim.Time(m.cfg.CompleteHandleSec), func(start, end sim.Time) {
+			m.Obs.Span(0, obsv.StateMgmt, float64(start), float64(end))
 			st.load--
 			st.queued -= ts.t.Work / m.cfg.Speeds[p]
 			m.drainPool(p)

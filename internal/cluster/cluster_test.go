@@ -6,6 +6,8 @@ import (
 	"repro/internal/apps/ocean"
 	"repro/internal/apps/water"
 	"repro/internal/jade"
+	"repro/internal/metrics"
+	"repro/internal/obsv"
 )
 
 func newRT(n int) (*jade.Runtime, *Machine) {
@@ -170,5 +172,46 @@ func TestStagedTaskOnCluster(t *testing.T) {
 	rt.Finish()
 	if got != 1 || *vb != 2 {
 		t.Fatalf("staged cluster run wrong: got=%d vb=%d", got, *vb)
+	}
+}
+
+func TestObserverOnCluster(t *testing.T) {
+	cfg := ocean.Small()
+	cfg.N = 32
+	cfg.Iterations = 4
+
+	run := func(obs *obsv.Observer) *metrics.Run {
+		m := New(DefaultConfig(4))
+		m.Obs = obs
+		rt := jade.New(m, jade.Config{})
+		ocean.Run(rt, cfg)
+		return rt.Finish()
+	}
+
+	base := run(nil)
+	if base.Obsv != nil {
+		t.Fatal("observer-free run carries a snapshot")
+	}
+
+	obs := obsv.New(4)
+	res := run(obs)
+	if res.ExecTime != base.ExecTime {
+		t.Fatalf("observer changed virtual time: %.12f vs %.12f", res.ExecTime, base.ExecTime)
+	}
+	snap := res.Obsv
+	if snap == nil {
+		t.Fatal("instrumented run has no snapshot")
+	}
+	if snap.ObjectCount == 0 || len(snap.HotObjects) == 0 {
+		t.Fatal("no object stats recorded")
+	}
+	if snap.FetchLatency.Count == 0 || snap.FetchLatency.P95Sec <= 0 {
+		t.Fatalf("fetch latency empty: %+v", snap.FetchLatency)
+	}
+	if snap.TaskWait.Count == 0 {
+		t.Fatalf("task wait empty: %+v", snap.TaskWait)
+	}
+	if snap.Timeline == nil || len(snap.Timeline.Procs) == 0 {
+		t.Fatal("timeline missing")
 	}
 }

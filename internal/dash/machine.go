@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/jade"
 	"repro/internal/metrics"
+	"repro/internal/obsv"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -43,6 +44,13 @@ type Machine struct {
 	StealFromHead bool
 	// Trace, when non-nil, records scheduling and execution events.
 	Trace *trace.Trace
+	// Obs, when non-nil, collects structured observability data
+	// (per-object stats, latency histograms, state timelines). All
+	// instrumentation is nil-safe and free when disabled.
+	Obs *obsv.Observer
+	// enqAt records each task's enqueue time for queue-wait latency;
+	// allocated lazily, only when Obs is attached.
+	enqAt map[jade.TaskID]sim.Time
 
 	stats    metrics.Run
 	execBase sim.Time
@@ -91,11 +99,23 @@ func (m *Machine) Config() Config { return m.cfg }
 // captured by Object.Home.
 func (m *Machine) ObjectAllocated(o *jade.Object) {}
 
+// submitMgmt charges d seconds of task-management work to the main
+// processor, recording a mgmt span when observability is on.
+func (m *Machine) submitMgmt(at sim.Time, d float64) sim.Time {
+	var done func(start, end sim.Time)
+	if m.Obs.Enabled() {
+		done = func(start, end sim.Time) {
+			m.Obs.Span(0, obsv.StateMgmt, float64(start), float64(end))
+		}
+	}
+	return m.procs[0].Submit(at, sim.Time(d), done)
+}
+
 // TaskCreated implements jade.Platform: charge creation overhead to
 // the main processor; if the task is already enabled, enqueue it when
 // its creation completes.
 func (m *Machine) TaskCreated(t *jade.Task, enabled bool) {
-	done := m.procs[0].Submit(m.eng.Now(), sim.Time(m.cfg.TaskCreateSec), nil)
+	done := m.submitMgmt(m.eng.Now(), m.cfg.TaskCreateSec)
 	m.stats.TaskMgmtTime += m.cfg.TaskCreateSec
 	m.createdDone[t.ID] = done
 	m.traceEvent(float64(done), trace.TaskCreated, int(t.ID), 0, "")
@@ -150,6 +170,7 @@ func (m *Machine) Stats() *metrics.Run {
 		}
 		m.stats.ProcBusy = append(m.stats.ProcBusy, b)
 	}
+	m.stats.Obsv = m.Obs.Snapshot(0)
 	return &m.stats
 }
 
@@ -161,6 +182,7 @@ func (m *Machine) ResetStats() {
 	for _, p := range m.procs {
 		m.busyBase = append(m.busyBase, float64(p.BusyTime()))
 	}
+	m.Obs.Reset()
 }
 
 // target returns the processor that owns the task's locality object
@@ -182,6 +204,12 @@ func (m *Machine) target(t *jade.Task) int {
 // tasks on target), while sustained imbalance still triggers steals.
 func (m *Machine) enqueue(t *jade.Task) {
 	m.traceEvent(float64(m.eng.Now()), trace.TaskEnabled, int(t.ID), -1, "")
+	if m.Obs.Enabled() {
+		if m.enqAt == nil {
+			m.enqAt = make(map[jade.TaskID]sim.Time)
+		}
+		m.enqAt[t.ID] = m.eng.Now()
+	}
 	switch {
 	case m.cfg.Level == NoLocality:
 		m.global = append(m.global, t)
@@ -294,7 +322,15 @@ func (m *Machine) execute(p int, t *jade.Task, stole bool) {
 	m.stats.TaskExecTotal += app
 
 	m.running[p] = true
-	m.traceEvent(float64(m.eng.Now()), trace.ExecStart, int(t.ID), p, fmt.Sprintf("stole=%v", stole))
+	if m.Trace.Enabled() {
+		m.Trace.Add(float64(m.eng.Now()), trace.ExecStart, int(t.ID), p, fmt.Sprintf("stole=%v", stole))
+	}
+	if m.Obs.Enabled() {
+		if at, ok := m.enqAt[t.ID]; ok {
+			m.Obs.TaskWait(float64(m.eng.Now() - at))
+			delete(m.enqAt, t.ID)
+		}
+	}
 	if len(t.Segments) > 0 && !m.rt.Config().WorkFree {
 		// Staged task: memory and dispatch costs are charged with the
 		// first segment; each segment boundary may release accesses.
@@ -305,6 +341,7 @@ func (m *Machine) execute(p int, t *jade.Task, stole bool) {
 	m.procs[p].Submit(m.eng.Now(), sim.Time(mgmt+app), func(start, end sim.Time) {
 		m.running[p] = false
 		m.traceEvent(float64(end), trace.ExecEnd, int(t.ID), p, "")
+		m.Obs.Span(p, obsv.StateTask, float64(start), float64(end))
 		m.rt.TaskDone(t)
 		m.dispatch(p)
 	})
@@ -330,6 +367,7 @@ func (m *Machine) executeStaged(p int, t *jade.Task, baseCost float64) {
 			d += baseCost
 		}
 		m.procs[p].Submit(m.eng.Now(), sim.Time(d), func(start, end sim.Time) {
+			m.Obs.Span(p, obsv.StateTask, float64(start), float64(end))
 			for _, o := range segs[i].Release {
 				for _, n := range m.rt.ReleaseEarly(t, o) {
 					m.TaskEnabled(n)
@@ -373,8 +411,9 @@ func (m *Machine) accessCost(p int, a jade.Access) float64 {
 
 	var cycles float64
 	remote := false
+	hit := c.has(o, a.RequiredVersion)
 	switch {
-	case c.has(o, a.RequiredVersion):
+	case hit:
 		cycles = m.cfg.CacheHitCycles
 		c.touch(o)
 	default:
@@ -403,5 +442,11 @@ func (m *Machine) accessCost(p int, a jade.Access) float64 {
 	if a.Writes() {
 		m.lastWriter[o.ID] = writerInfo{proc: p, version: resulting, dirty: true}
 	}
-	return m.cfg.lineTime(o.Size, cycles)
+	cost := m.cfg.lineTime(o.Size, cycles)
+	// On the shared-memory model a "fetch" is a cache miss: the line
+	// transfer from local or remote memory into p's cache.
+	if !hit && m.Obs.Enabled() {
+		m.Obs.ObjectFetch(int(o.ID), o.Name, o.Size, cost, remote)
+	}
+	return cost
 }

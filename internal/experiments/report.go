@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/dash"
+	"repro/internal/ipsc"
+	"repro/internal/jade"
+	"repro/internal/metrics"
+	"repro/internal/obsv"
+)
+
+// BenchSchema identifies the jadebench JSON layout. Bump only on
+// breaking changes; additions keep the version.
+const BenchSchema = "jadebench/v1"
+
+// ResultJSON is the machine-readable form of one regenerated table.
+type ResultJSON struct {
+	ID    string     `json:"id"`
+	Title string     `json:"title"`
+	Head  []string   `json:"head"`
+	Rows  [][]string `json:"rows"`
+	Notes string     `json:"notes,omitempty"`
+}
+
+// InstrumentedRun is one observability-enabled execution: an app run
+// once on one machine with the Observer attached, reported through
+// the full metrics schema (per-object stats, latency histograms,
+// per-processor timeline).
+type InstrumentedRun struct {
+	App     string          `json:"app"`
+	Machine string          `json:"machine"`
+	Procs   int             `json:"procs"`
+	Level   string          `json:"level"`
+	Metrics *metrics.Report `json:"metrics"`
+}
+
+// BenchReport is the top-level object emitted by jadebench -json.
+type BenchReport struct {
+	Schema      string            `json:"schema"`
+	Scale       string            `json:"scale"`
+	Experiments []ResultJSON      `json:"experiments"`
+	Runs        []InstrumentedRun `json:"runs"`
+}
+
+// instrumentedProcs is the processor count used for the
+// observability runs included in the JSON report; 8 matches the
+// midpoint of the paper's sweeps and keeps the report cheap.
+const instrumentedProcs = 8
+
+// instrumentedRuns executes every app on both primary machine models
+// with an Observer attached, at the highest locality level the app
+// supports. These runs feed the per-object and latency sections of
+// the report; the sweep tables above them stay observer-free.
+func instrumentedRuns(scale Scale) []InstrumentedRun {
+	var runs []InstrumentedRun
+	for _, a := range allApps {
+		place := a.hasPlacement
+		level := "locality"
+		if place {
+			level = "placement"
+		}
+
+		dl := dash.Locality
+		if place {
+			dl = dash.TaskPlacement
+		}
+		dm := dash.New(dash.DefaultConfig(instrumentedProcs, dl))
+		dm.Obs = obsv.New(instrumentedProcs)
+		drt := jade.New(dm, jade.Config{})
+		a.run(drt, scale, place)
+		runs = append(runs, InstrumentedRun{
+			App: a.name, Machine: "dash", Procs: instrumentedProcs,
+			Level: level, Metrics: drt.Finish().Report(),
+		})
+
+		il := ipsc.Locality
+		if place {
+			il = ipsc.TaskPlacement
+		}
+		im := ipsc.New(ipsc.DefaultConfig(instrumentedProcs, il))
+		im.Obs = obsv.New(instrumentedProcs)
+		irt := jade.New(im, jade.Config{})
+		a.run(irt, scale, place)
+		runs = append(runs, InstrumentedRun{
+			App: a.name, Machine: "ipsc", Procs: instrumentedProcs,
+			Level: level, Metrics: irt.Finish().Report(),
+		})
+	}
+	return runs
+}
+
+// BuildReport runs the given experiments plus one instrumented run
+// per app/machine pair and assembles the jadebench/v1 report.
+func BuildReport(ids []string, scale Scale) (*BenchReport, error) {
+	rep := &BenchReport{
+		Schema:      BenchSchema,
+		Scale:       string(scale),
+		Experiments: []ResultJSON{},
+	}
+	for _, id := range ids {
+		res, err := Run(id, scale)
+		if err != nil {
+			return nil, err
+		}
+		rep.Experiments = append(rep.Experiments, ResultJSON{
+			ID: res.ID, Title: res.Title, Head: res.Head,
+			Rows: res.Rows, Notes: res.Notes,
+		})
+	}
+	rep.Runs = instrumentedRuns(scale)
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

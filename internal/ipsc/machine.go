@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/jade"
 	"repro/internal/metrics"
+	"repro/internal/obsv"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -69,6 +70,10 @@ type Machine struct {
 	// Trace, when non-nil, records scheduling, communication and
 	// execution events.
 	Trace *trace.Trace
+	// Obs, when non-nil, collects structured observability data
+	// (per-object stats, latency histograms, state timelines). All
+	// instrumentation is nil-safe and free when disabled.
+	Obs *obsv.Observer
 
 	stats    metrics.Run
 	execBase sim.Time
@@ -121,9 +126,21 @@ func (m *Machine) ObjectAllocated(o *jade.Object) {
 	m.nodes[0].store[o.ID] = 0
 }
 
+// submitMgmt charges d seconds of task-management work to node 0's
+// CPU, recording a mgmt span when observability is on.
+func (m *Machine) submitMgmt(at sim.Time, d float64) sim.Time {
+	var done func(start, end sim.Time)
+	if m.Obs.Enabled() {
+		done = func(start, end sim.Time) {
+			m.Obs.Span(0, obsv.StateMgmt, float64(start), float64(end))
+		}
+	}
+	return m.nodes[0].cpu.Submit(at, sim.Time(d), done)
+}
+
 // TaskCreated implements jade.Platform.
 func (m *Machine) TaskCreated(t *jade.Task, enabled bool) {
-	done := m.nodes[0].cpu.Submit(m.eng.Now(), sim.Time(m.cfg.TaskCreateSec), nil)
+	done := m.submitMgmt(m.eng.Now(), m.cfg.TaskCreateSec)
 	m.stats.TaskMgmtTime += m.cfg.TaskCreateSec
 	m.createdDone[t.ID] = done
 	m.traceEvent(float64(done), trace.TaskCreated, int(t.ID), 0, "")
@@ -163,6 +180,7 @@ func (m *Machine) Stats() *metrics.Run {
 		}
 		m.stats.ProcBusy = append(m.stats.ProcBusy, b)
 	}
+	m.stats.Obsv = m.Obs.Snapshot(0)
 	return &m.stats
 }
 
@@ -174,6 +192,7 @@ func (m *Machine) ResetStats() {
 	for _, n := range m.nodes {
 		m.busyBase = append(m.busyBase, float64(n.cpu.BusyTime()))
 	}
+	m.Obs.Reset()
 }
 
 // schedule runs the centralized scheduling decision on the main
@@ -259,10 +278,12 @@ func (m *Machine) pickLeastLoaded(ts *taskState) int {
 func (m *Machine) assign(ts *taskState, p int) {
 	ts.proc = p
 	m.nodes[p].load++
-	m.traceEvent(float64(m.eng.Now()), trace.TaskAssigned, int(ts.t.ID), p,
-		fmt.Sprintf("target=p%d", ts.target))
+	if m.Trace.Enabled() {
+		m.Trace.Add(float64(m.eng.Now()), trace.TaskAssigned, int(ts.t.ID), p,
+			fmt.Sprintf("target=p%d", ts.target))
+	}
 	m.stats.TaskMgmtTime += m.cfg.AssignSec
-	decided := m.nodes[0].cpu.Submit(m.eng.Now(), sim.Time(m.cfg.AssignSec), nil)
+	decided := m.submitMgmt(m.eng.Now(), m.cfg.AssignSec)
 	if p == 0 {
 		m.eng.At(decided, func() { m.taskArrived(ts) })
 		return
@@ -296,8 +317,10 @@ func (m *Machine) taskArrived(ts *taskState) {
 	}
 	ts.needed = len(toFetch)
 	ts.firstReq = m.eng.Now()
-	m.traceEvent(float64(m.eng.Now()), trace.FetchStart, int(ts.t.ID), p,
-		fmt.Sprintf("%d objects", len(toFetch)))
+	if m.Trace.Enabled() {
+		m.Trace.Add(float64(m.eng.Now()), trace.FetchStart, int(ts.t.ID), p,
+			fmt.Sprintf("%d objects", len(toFetch)))
+	}
 	if m.cfg.ConcurrentFetch {
 		for _, a := range toFetch {
 			m.fetch(ts, a)
@@ -347,6 +370,7 @@ func (m *Machine) fetchThen(ts *taskState, a jade.Access, then func()) {
 				m.stats.ReplicatedReads++
 			}
 			m.stats.ObjectLatency += float64(m.eng.Now() - issued)
+			m.Obs.ObjectFetch(int(o.ID), o.Name, o.Size, float64(m.eng.Now()-issued), owner != p)
 			if m.eng.Now() > ts.lastArrive {
 				ts.lastArrive = m.eng.Now()
 			}
@@ -356,6 +380,10 @@ func (m *Machine) fetchThen(ts *taskState, a jade.Access, then func()) {
 			}
 			if ts.needed == 0 {
 				m.stats.TaskLatency += float64(ts.lastArrive - ts.firstReq)
+				if m.Obs.Enabled() {
+					m.Obs.TaskWait(float64(ts.lastArrive - ts.firstReq))
+					m.Obs.Span(p, obsv.StateFetch, float64(ts.firstReq), float64(ts.lastArrive))
+				}
 				m.traceEvent(float64(m.eng.Now()), trace.FetchEnd, int(ts.t.ID), p, "")
 				m.ready(ts)
 			}
@@ -398,6 +426,7 @@ func (m *Machine) ready(ts *taskState) {
 	m.nodes[p].cpu.Submit(m.eng.Now(), sim.Time(m.cfg.DispatchSec+work), func(start, end sim.Time) {
 		m.traceEvent(float64(start), trace.ExecStart, int(ts.t.ID), p, "")
 		m.traceEvent(float64(end), trace.ExecEnd, int(ts.t.ID), p, "")
+		m.Obs.Span(p, obsv.StateTask, float64(start), float64(end))
 		m.completed(ts)
 	})
 }
@@ -425,6 +454,7 @@ func (m *Machine) readyStaged(ts *taskState) {
 			d += m.cfg.DispatchSec
 		}
 		m.nodes[p].cpu.Submit(m.eng.Now(), sim.Time(d), func(start, end sim.Time) {
+			m.Obs.Span(p, obsv.StateTask, float64(start), float64(end))
 			for _, o := range segs[i].Release {
 				if a, ok := ts.t.AccessOn(o); ok && a.Writes() {
 					m.produce(o, a.RequiredVersion+1, p)
@@ -462,6 +492,7 @@ func (m *Machine) completed(ts *taskState) {
 	notify := func() {
 		m.stats.TaskMgmtTime += m.cfg.CompleteHandleSec
 		m.nodes[0].cpu.Submit(m.eng.Now(), sim.Time(m.cfg.CompleteHandleSec), func(start, end sim.Time) {
+			m.Obs.Span(0, obsv.StateMgmt, float64(start), float64(end))
 			m.nodes[p].load--
 			m.drainPool(p)
 		})
@@ -498,8 +529,11 @@ func (m *Machine) produce(o *jade.Object, v jade.Version, p int) {
 	// spanning-tree broadcast of the new version. Setup and the buffer
 	// copy cost producer CPU; the tree transmissions occupy its NIC.
 	m.stats.BroadcastCount++
-	m.traceEvent(float64(m.eng.Now()), trace.Broadcast, -1, p,
-		fmt.Sprintf("%s v%d (%d bytes)", o.Name, v, o.Size))
+	if m.Trace.Enabled() {
+		m.Trace.Add(float64(m.eng.Now()), trace.Broadcast, -1, p,
+			fmt.Sprintf("%s v%d (%d bytes)", o.Name, v, o.Size))
+	}
+	m.Obs.ObjectBroadcast(int(o.ID), o.Name, o.Size, m.cfg.Procs-1)
 	cpuDone := m.nodes[p].cpu.Submit(m.eng.Now(),
 		sim.Time(m.cfg.BcastSetupSec+m.cfg.byteTime(o.Size)), nil)
 	steps := m.cfg.bcastSteps()
@@ -600,13 +634,18 @@ func (m *Machine) MainTouches(accs []jade.Access) {
 			if v, ok := main.store[o.ID]; !ok || v != a.RequiredVersion {
 				// Synchronous fetch: request to owner, reply with the
 				// object; the main program blocks until arrival.
-				reqSent := main.nic.Submit(main.cpu.FreeAt(), sim.Time(m.cfg.sendOccupancy(m.cfg.RequestBytes)), nil)
+				issued := main.cpu.FreeAt()
+				reqSent := main.nic.Submit(issued, sim.Time(m.cfg.sendOccupancy(m.cfg.RequestBytes)), nil)
 				repSent := m.nodes[st.owner].nic.Submit(reqSent+sim.Time(m.cfg.MsgLatencySec), sim.Time(m.cfg.sendOccupancy(o.Size)), nil)
 				arrive := repSent + sim.Time(m.cfg.MsgLatencySec)
 				main.cpu.Advance(arrive)
 				main.store[o.ID] = a.RequiredVersion
 				m.stats.MsgBytes += int64(o.Size)
 				m.stats.MsgCount++
+				if m.Obs.Enabled() {
+					m.Obs.ObjectFetch(int(o.ID), o.Name, o.Size, float64(arrive-issued), st.owner != 0)
+					m.Obs.Span(0, obsv.StateFetch, float64(issued), float64(arrive))
+				}
 			}
 			m.noteAccess(o.ID, a.RequiredVersion, 0)
 		}

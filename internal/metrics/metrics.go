@@ -4,6 +4,8 @@
 // task-management overhead.
 package metrics
 
+import "repro/internal/obsv"
+
 // Run accumulates measurements for one execution of a Jade program on
 // one platform configuration.
 type Run struct {
@@ -58,9 +60,17 @@ type Run struct {
 	// ProcBusy records each processor's total busy time in seconds
 	// (CPU occupancy: tasks, serial phases, scheduling).
 	ProcBusy []float64
+
+	// Obsv holds the structured observability snapshot (per-object
+	// stats, latency distributions, utilization timeline) collected
+	// when the platform ran with an Observer attached; nil otherwise.
+	Obsv *obsv.Snapshot
 }
 
-// Utilization returns each processor's busy fraction of the run.
+// Utilization returns each processor's busy fraction of the run. The
+// raw ratio is returned unclamped: a fraction above one means the
+// processor was busy longer than the run lasted, which is a simulator
+// accounting bug that OverBusy surfaces rather than hiding.
 func (r *Run) Utilization() []float64 {
 	if r.ExecTime <= 0 {
 		return nil
@@ -68,11 +78,26 @@ func (r *Run) Utilization() []float64 {
 	out := make([]float64, len(r.ProcBusy))
 	for i, b := range r.ProcBusy {
 		out[i] = b / r.ExecTime
-		if out[i] > 1 {
-			out[i] = 1
-		}
 	}
 	return out
+}
+
+// overBusySlack absorbs float-summation noise when comparing a
+// processor's accumulated busy time against the run length.
+const overBusySlack = 1e-9
+
+// OverBusy returns the processors whose busy time exceeds the run's
+// execution time (beyond float rounding slack) — evidence of
+// double-charged work in a machine model. A correct simulator returns
+// an empty list.
+func (r *Run) OverBusy() []int {
+	var bad []int
+	for i, b := range r.ProcBusy {
+		if b > r.ExecTime*(1+overBusySlack)+overBusySlack {
+			bad = append(bad, i)
+		}
+	}
+	return bad
 }
 
 // LocalityPct returns the percentage of tasks executed on their target

@@ -1,0 +1,192 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// ObjectStat is the per-shared-object communication ledger: how often
+// the object moved, how many bytes that cost, and how long tasks
+// waited for it. It is the data behind the hot-objects report.
+type ObjectStat struct {
+	ID              int     `json:"id"`
+	Name            string  `json:"name"`
+	Fetches         int64   `json:"fetches"`
+	Bytes           int64   `json:"bytes"`
+	ReplicatedReads int64   `json:"replicated_reads"`
+	Broadcasts      int64   `json:"broadcasts"`
+	WaitSec         float64 `json:"wait_sec"`
+}
+
+// Observer collects structured observability data from one machine
+// model run. All methods are safe on a nil receiver and do nothing, so
+// platforms can instrument unconditionally; the hot paths stay
+// allocation-free when observability is off.
+type Observer struct {
+	mu      sync.Mutex
+	objects map[int]*ObjectStat
+	fetch   Histogram
+	wait    Histogram
+	tl      *timeline
+}
+
+// New returns an Observer for a machine with the given processor count.
+func New(procs int) *Observer {
+	return &Observer{objects: make(map[int]*ObjectStat), tl: newTimeline(procs)}
+}
+
+// Enabled reports whether observability is on. Guard any call-site
+// work (string formatting, map lookups) with it.
+func (o *Observer) Enabled() bool { return o != nil }
+
+func (o *Observer) object(id int, name string) *ObjectStat {
+	st, ok := o.objects[id]
+	if !ok {
+		st = &ObjectStat{ID: id, Name: name}
+		o.objects[id] = st
+	}
+	return st
+}
+
+// ObjectFetch records one object transfer to a requesting processor:
+// bytes moved, the request-to-arrival latency, and whether the fetch
+// created an additional read copy (replication, §5.1).
+func (o *Observer) ObjectFetch(id int, name string, bytes int, latencySec float64, replicated bool) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	st := o.object(id, name)
+	st.Fetches++
+	st.Bytes += int64(bytes)
+	if replicated {
+		st.ReplicatedReads++
+	}
+	st.WaitSec += latencySec
+	o.fetch.Record(latencySec)
+	o.mu.Unlock()
+}
+
+// ObjectBroadcast records one adaptive-broadcast of the object to
+// copies receivers.
+func (o *Observer) ObjectBroadcast(id int, name string, bytes, copies int) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	st := o.object(id, name)
+	st.Broadcasts++
+	st.Bytes += int64(bytes) * int64(copies)
+	o.mu.Unlock()
+}
+
+// TaskWait records one task's communication stall: the time from its
+// first object request to its last object arrival (§5.5).
+func (o *Observer) TaskWait(latencySec float64) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.wait.Record(latencySec)
+	o.mu.Unlock()
+}
+
+// Span records that processor proc spent [startSec, endSec) in the
+// given state on the virtual clock.
+func (o *Observer) Span(proc int, st State, startSec, endSec float64) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.tl.add(proc, st, startSec, endSec)
+	o.mu.Unlock()
+}
+
+// Reset zeroes all collected data (keeping the processor count), for
+// use from Platform.ResetStats.
+func (o *Observer) Reset() {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	procs := len(o.tl.vals) / int(numStates)
+	o.objects = make(map[int]*ObjectStat)
+	o.fetch.Reset()
+	o.wait.Reset()
+	o.tl = newTimeline(procs)
+	o.mu.Unlock()
+}
+
+// Snapshot is the exported, JSON-stable view of one run's
+// observability data, embedded in metrics reports.
+type Snapshot struct {
+	// HotObjects is the top-N objects by bytes moved, descending.
+	HotObjects []ObjectStat `json:"hot_objects"`
+	// ObjectCount is the number of distinct objects that communicated.
+	ObjectCount int `json:"object_count"`
+	// FetchLatency is the distribution of per-object fetch latencies.
+	FetchLatency LatencySummary `json:"fetch_latency"`
+	// TaskWait is the distribution of per-task communication stalls.
+	TaskWait LatencySummary `json:"task_wait"`
+	// Timeline is the per-processor busy/fetch/mgmt series over time.
+	Timeline *Timeline `json:"timeline,omitempty"`
+}
+
+// Snapshot captures the current state; topN bounds the hot-object
+// list (≤0 means 10). Returns nil on a nil Observer.
+func (o *Observer) Snapshot(topN int) *Snapshot {
+	if o == nil {
+		return nil
+	}
+	if topN <= 0 {
+		topN = 10
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	objs := make([]ObjectStat, 0, len(o.objects))
+	for _, st := range o.objects {
+		objs = append(objs, *st)
+	}
+	sort.Slice(objs, func(i, j int) bool {
+		if objs[i].Bytes != objs[j].Bytes {
+			return objs[i].Bytes > objs[j].Bytes
+		}
+		if objs[i].Fetches != objs[j].Fetches {
+			return objs[i].Fetches > objs[j].Fetches
+		}
+		return objs[i].ID < objs[j].ID
+	})
+	n := len(objs)
+	if n > topN {
+		objs = objs[:topN]
+	}
+	return &Snapshot{
+		HotObjects:   objs,
+		ObjectCount:  n,
+		FetchLatency: o.fetch.Summary(),
+		TaskWait:     o.wait.Summary(),
+		Timeline:     o.tl.snapshot(),
+	}
+}
+
+// WriteHotObjects renders the hot-object report as text: one row per
+// object, hottest first, with the latency distributions underneath.
+func (s *Snapshot) WriteHotObjects(w io.Writer) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(w, "hot objects (%d of %d communicating):\n", len(s.HotObjects), s.ObjectCount)
+	fmt.Fprintf(w, "  %-20s %8s %12s %6s %6s %12s\n",
+		"object", "fetches", "bytes", "repl", "bcast", "wait (s)")
+	for _, o := range s.HotObjects {
+		fmt.Fprintf(w, "  %-20s %8d %12d %6d %6d %12.6f\n",
+			o.Name, o.Fetches, o.Bytes, o.ReplicatedReads, o.Broadcasts, o.WaitSec)
+	}
+	f, t := s.FetchLatency, s.TaskWait
+	fmt.Fprintf(w, "fetch latency: n=%d mean=%.2gs p50=%.2gs p95=%.2gs max=%.2gs\n",
+		f.Count, f.MeanSec, f.P50Sec, f.P95Sec, f.MaxSec)
+	fmt.Fprintf(w, "task wait:     n=%d mean=%.2gs p50=%.2gs p95=%.2gs max=%.2gs\n",
+		t.Count, t.MeanSec, t.P50Sec, t.P95Sec, t.MaxSec)
+}

@@ -1,0 +1,188 @@
+package obsv
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations: 1ms × 90, 10ms × 9, 100ms × 1.
+	for i := 0; i < 90; i++ {
+		h.Record(1e-3)
+	}
+	for i := 0; i < 9; i++ {
+		h.Record(10e-3)
+	}
+	h.Record(100e-3)
+
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	if got := h.Max(); got != 100e-3 {
+		t.Fatalf("Max = %v, want 0.1", got)
+	}
+	if got := h.Min(); got != 1e-3 {
+		t.Fatalf("Min = %v, want 0.001", got)
+	}
+	// Log-bucketed: quantiles are upper bounds within 12.5% relative
+	// error of the true value.
+	p50 := h.Quantile(0.50)
+	if p50 < 1e-3 || p50 > 1e-3*1.13 {
+		t.Fatalf("p50 = %v, want ~1e-3", p50)
+	}
+	p95 := h.Quantile(0.95)
+	if p95 < 10e-3 || p95 > 10e-3*1.13 {
+		t.Fatalf("p95 = %v, want ~1e-2", p95)
+	}
+	if got := h.Quantile(1); got != 100e-3 {
+		t.Fatalf("p100 = %v, want exact max", got)
+	}
+	if mean := h.Mean(); math.Abs(mean-(90*1e-3+9*10e-3+100e-3)/100) > 1e-12 {
+		t.Fatalf("Mean = %v", mean)
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Summary().Count != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Record(0)
+	h.Record(-5)              // accounting bug upstream → recorded as 0
+	h.Record(math.NaN())      // likewise
+	h.Record(1e-300)          // below range → lowest bucket
+	h.Record(math.MaxFloat64) // above range → highest bucket
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if h.Quantile(0.5) < 0 {
+		t.Fatal("quantile must be nonnegative")
+	}
+}
+
+func TestHistogramFixedMemoryBuckets(t *testing.T) {
+	// Every representable positive value maps into range.
+	for _, v := range []float64{1e-12, 1e-6, 1, 1e6, 1e12} {
+		idx := bucketOf(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketOf(%g) = %d out of range", v, idx)
+		}
+		if u := bucketUpper(idx); u < v && idx != histBuckets-1 {
+			t.Fatalf("bucketUpper(%d) = %g < %g", idx, u, v)
+		}
+	}
+}
+
+func TestObserverNilSafe(t *testing.T) {
+	var o *Observer
+	if o.Enabled() {
+		t.Fatal("nil observer must report disabled")
+	}
+	// None of these may panic.
+	o.ObjectFetch(1, "x", 10, 1e-3, true)
+	o.ObjectBroadcast(1, "x", 10, 3)
+	o.TaskWait(1e-3)
+	o.Span(0, StateTask, 0, 1)
+	o.Reset()
+	if o.Snapshot(5) != nil {
+		t.Fatal("nil observer snapshot must be nil")
+	}
+}
+
+func TestObserverHotObjects(t *testing.T) {
+	o := New(2)
+	// Object 2 moves the most bytes; object 0 the fewest.
+	o.ObjectFetch(0, "cold", 8, 1e-6, false)
+	for i := 0; i < 3; i++ {
+		o.ObjectFetch(1, "warm", 100, 1e-5, true)
+	}
+	for i := 0; i < 5; i++ {
+		o.ObjectFetch(2, "hot", 1000, 1e-4, false)
+	}
+	o.ObjectBroadcast(2, "hot", 1000, 1)
+	o.TaskWait(2e-4)
+
+	s := o.Snapshot(2)
+	if s.ObjectCount != 3 {
+		t.Fatalf("ObjectCount = %d, want 3", s.ObjectCount)
+	}
+	if len(s.HotObjects) != 2 {
+		t.Fatalf("top-2 returned %d objects", len(s.HotObjects))
+	}
+	if s.HotObjects[0].Name != "hot" || s.HotObjects[1].Name != "warm" {
+		t.Fatalf("hot order wrong: %+v", s.HotObjects)
+	}
+	if s.HotObjects[0].Bytes != 6000 || s.HotObjects[0].Broadcasts != 1 {
+		t.Fatalf("hot object stats wrong: %+v", s.HotObjects[0])
+	}
+	if s.HotObjects[1].ReplicatedReads != 3 {
+		t.Fatalf("warm replicated reads = %d, want 3", s.HotObjects[1].ReplicatedReads)
+	}
+	if s.FetchLatency.Count != 9 || s.TaskWait.Count != 1 {
+		t.Fatalf("latency counts wrong: %+v %+v", s.FetchLatency, s.TaskWait)
+	}
+	var sb strings.Builder
+	s.WriteHotObjects(&sb)
+	for _, want := range []string{"hot", "warm", "fetch latency", "task wait"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestObserverReset(t *testing.T) {
+	o := New(1)
+	o.ObjectFetch(0, "x", 10, 1e-3, false)
+	o.Span(0, StateTask, 0, 1)
+	o.Reset()
+	s := o.Snapshot(5)
+	if s.ObjectCount != 0 || s.FetchLatency.Count != 0 || s.Timeline.Bins != 0 {
+		t.Fatalf("reset did not clear: %+v", s)
+	}
+}
+
+func TestTimelineBinningAndRescale(t *testing.T) {
+	tl := newTimeline(2)
+	// A span far beyond the initial 192×1µs window forces rescaling.
+	tl.add(0, StateTask, 0, 1.0)
+	tl.add(1, StateFetch, 0.5, 1.0)
+	tl.add(0, StateMgmt, 0, 0.25)
+	snap := tl.snapshot()
+	if snap.Bins == 0 || snap.Bins > timelineBins {
+		t.Fatalf("bins = %d", snap.Bins)
+	}
+	sum := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	if got := sum(snap.Procs[0].TaskSec); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("p0 task total = %v, want 1.0", got)
+	}
+	if got := sum(snap.Procs[1].FetchSec); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("p1 fetch total = %v, want 0.5", got)
+	}
+	if got := sum(snap.Procs[0].MgmtSec); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("p0 mgmt total = %v, want 0.25", got)
+	}
+	// No bin may hold more time than its width (per state).
+	for _, ps := range snap.Procs {
+		for i := 0; i < snap.Bins; i++ {
+			if ps.TaskSec[i] > snap.BinSec+1e-12 {
+				t.Fatalf("bin %d overfull: %v > %v", i, ps.TaskSec[i], snap.BinSec)
+			}
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for st, want := range map[State]string{StateTask: "task", StateFetch: "fetch", StateMgmt: "mgmt"} {
+		if st.String() != want {
+			t.Fatalf("State(%d).String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package obsv
+
+// State classifies what a processor is doing during a recorded span.
+// Idle is implicit: anything not covered by a span.
+type State int
+
+const (
+	// StateTask is application task execution (dispatch + body).
+	StateTask State = iota
+	// StateFetch is waiting for remote objects to arrive.
+	StateFetch
+	// StateMgmt is implementation work: task creation, scheduling,
+	// assignment, and completion handling.
+	StateMgmt
+	numStates
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateTask:
+		return "task"
+	case StateFetch:
+		return "fetch"
+	case StateMgmt:
+		return "mgmt"
+	}
+	return "unknown"
+}
+
+// timelineBins is the fixed number of bins per processor per state.
+// When the run outgrows bins×width, the bin width doubles and adjacent
+// bins merge, so memory stays constant regardless of run length.
+const timelineBins = 192
+
+// timeline accumulates per-processor busy time by state into
+// fixed-size time bins over the virtual clock.
+type timeline struct {
+	binW float64 // current bin width in seconds
+	maxT float64 // latest span end seen
+	// vals[proc*numStates+state][bin] is seconds of that state in the bin.
+	vals [][]float64
+}
+
+func newTimeline(procs int) *timeline {
+	tl := &timeline{binW: 1e-6, vals: make([][]float64, procs*int(numStates))}
+	for i := range tl.vals {
+		tl.vals[i] = make([]float64, timelineBins)
+	}
+	return tl
+}
+
+// rescale doubles the bin width until end fits, merging adjacent bins.
+func (tl *timeline) rescale(end float64) {
+	for end >= tl.binW*timelineBins {
+		for _, row := range tl.vals {
+			for i := 0; i < timelineBins/2; i++ {
+				row[i] = row[2*i] + row[2*i+1]
+			}
+			for i := timelineBins / 2; i < timelineBins; i++ {
+				row[i] = 0
+			}
+		}
+		tl.binW *= 2
+	}
+}
+
+// add distributes the span [start, end) across the bins it overlaps.
+func (tl *timeline) add(proc int, st State, start, end float64) {
+	if end <= start || proc < 0 || proc*int(numStates) >= len(tl.vals) {
+		return
+	}
+	tl.rescale(end)
+	if end > tl.maxT {
+		tl.maxT = end
+	}
+	row := tl.vals[proc*int(numStates)+int(st)]
+	first := int(start / tl.binW)
+	last := int(end / tl.binW)
+	if last >= timelineBins {
+		last = timelineBins - 1
+	}
+	for b := first; b <= last; b++ {
+		lo := float64(b) * tl.binW
+		hi := lo + tl.binW
+		if start > lo {
+			lo = start
+		}
+		if end < hi {
+			hi = end
+		}
+		if hi > lo {
+			row[b] += hi - lo
+		}
+	}
+}
+
+// ProcSeries is one processor's time-series: seconds spent in each
+// state per bin. Idle time in a bin is binW minus the three states.
+type ProcSeries struct {
+	TaskSec  []float64 `json:"task_sec"`
+	FetchSec []float64 `json:"fetch_sec"`
+	MgmtSec  []float64 `json:"mgmt_sec"`
+}
+
+// Timeline is the exported per-processor utilization-over-time view —
+// the data behind the paper's behaviour-over-time figures.
+type Timeline struct {
+	BinSec float64      `json:"bin_sec"`
+	Bins   int          `json:"bins"`
+	Procs  []ProcSeries `json:"procs"`
+}
+
+// snapshot trims trailing empty bins and copies the series out.
+func (tl *timeline) snapshot() *Timeline {
+	used := int(tl.maxT/tl.binW) + 1
+	if used > timelineBins {
+		used = timelineBins
+	}
+	if tl.maxT == 0 {
+		used = 0
+	}
+	procs := len(tl.vals) / int(numStates)
+	out := &Timeline{BinSec: tl.binW, Bins: used, Procs: make([]ProcSeries, procs)}
+	for p := 0; p < procs; p++ {
+		cp := func(st State) []float64 {
+			return append([]float64(nil), tl.vals[p*int(numStates)+int(st)][:used]...)
+		}
+		out.Procs[p] = ProcSeries{TaskSec: cp(StateTask), FetchSec: cp(StateFetch), MgmtSec: cp(StateMgmt)}
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Command jsoncheck validates that stdin is a JSON object and that it
+// contains every top-level key named on the command line. It exists so
+// ci.sh can smoke-test jadebench -json output without depending on jq
+// or python being installed.
+//
+// Usage:
+//
+//	jadebench -experiment table4 -json | go run ./internal/tools/jsoncheck schema runs
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var doc map[string]interface{}
+	dec := json.NewDecoder(os.Stdin)
+	if err := dec.Decode(&doc); err != nil {
+		fmt.Fprintf(os.Stderr, "jsoncheck: stdin is not a JSON object: %v\n", err)
+		os.Exit(1)
+	}
+	for _, key := range os.Args[1:] {
+		if _, ok := doc[key]; !ok {
+			fmt.Fprintf(os.Stderr, "jsoncheck: missing top-level key %q\n", key)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("jsoncheck: ok (%d top-level keys)\n", len(doc))
+}

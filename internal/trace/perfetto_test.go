@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// perfettoDoc mirrors the Chrome trace-event format for validation.
+type perfettoDoc struct {
+	TraceEvents []struct {
+		Name string                 `json:"name"`
+		Cat  string                 `json:"cat"`
+		Ph   string                 `json:"ph"`
+		Ts   float64                `json:"ts"`
+		Dur  float64                `json:"dur"`
+		Pid  *int                   `json:"pid"`
+		Tid  *int                   `json:"tid"`
+		Args map[string]interface{} `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func writeAndParse(t *testing.T, tr *Trace) *perfettoDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc perfettoDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return &doc
+}
+
+func TestWritePerfettoValidFormat(t *testing.T) {
+	tr := New()
+	tr.Add(0.0, TaskCreated, 0, 0, "")
+	tr.Add(0.1, TaskAssigned, 0, 1, "target=p1")
+	tr.Add(0.2, FetchStart, 0, 1, "2 objects")
+	tr.Add(0.3, FetchEnd, 0, 1, "")
+	tr.Add(0.3, ExecStart, 0, 1, "")
+	tr.Add(0.5, ExecEnd, 0, 1, "")
+	tr.Add(0.6, Broadcast, -1, 1, "grid v2")
+
+	doc := writeAndParse(t, tr)
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var exec, fetch, instants, meta int
+	for _, e := range doc.TraceEvents {
+		if e.Pid == nil || e.Tid == nil {
+			t.Fatalf("event missing pid/tid: %+v", e)
+		}
+		switch e.Ph {
+		case "X":
+			if e.Dur < 0 || e.Ts < 0 {
+				t.Fatalf("negative ts/dur: %+v", e)
+			}
+			if e.Cat == "exec" {
+				exec++
+			} else if e.Cat == "fetch" {
+				fetch++
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if exec != 1 || fetch != 1 {
+		t.Fatalf("exec=%d fetch=%d spans, want 1 each", exec, fetch)
+	}
+	// TaskCreated, TaskAssigned, Broadcast.
+	if instants != 3 {
+		t.Fatalf("instants = %d, want 3", instants)
+	}
+	// proc 0, proc 1, scheduler (Broadcast has task -1 but proc 1;
+	// scheduler row appears only for proc -1 events) → 2 thread names.
+	if meta != 2 {
+		t.Fatalf("meta = %d, want 2", meta)
+	}
+	// Timestamps are microseconds: the exec span starts at 0.3s = 3e5µs.
+	for _, e := range doc.TraceEvents {
+		if e.Cat == "exec" && e.Ts != 3e5 {
+			t.Fatalf("exec ts = %v µs, want 3e5", e.Ts)
+		}
+	}
+}
+
+func TestWritePerfettoUnpairedAndSchedulerEvents(t *testing.T) {
+	tr := New()
+	tr.Add(0.0, ExecStart, 0, 0, "") // never ends: dropped
+	tr.Add(0.1, TaskEnabled, 1, -1, "")
+	doc := writeAndParse(t, tr)
+	sawScheduler := false
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			t.Fatalf("unpaired start produced a span: %+v", e)
+		}
+		if e.Ph == "M" && e.Args["name"] == "scheduler" {
+			sawScheduler = true
+		}
+	}
+	if !sawScheduler {
+		t.Fatal("proc -1 events should land on a named scheduler row")
+	}
+}
+
+func TestWritePerfettoEmpty(t *testing.T) {
+	doc := writeAndParse(t, New())
+	if doc.TraceEvents == nil {
+		t.Fatal("traceEvents must be an array, not null")
+	}
+}
+
+func TestEnabledNilSafe(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Fatal("nil trace must be disabled")
+	}
+	if !New().Enabled() {
+		t.Fatal("non-nil trace must be enabled")
+	}
+}
+
+func TestWithCapacity(t *testing.T) {
+	tr := New(WithCapacity(128))
+	for i := 0; i < 100; i++ {
+		tr.Add(float64(i), ExecStart, i, 0, "")
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Zero/negative capacities are ignored, not fatal.
+	if New(WithCapacity(0)).Len() != 0 || New(WithCapacity(-1)).Len() != 0 {
+		t.Fatal("degenerate capacity mishandled")
+	}
+}

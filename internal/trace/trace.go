@@ -73,8 +73,32 @@ type Trace struct {
 	events []Event
 }
 
+// Option configures a Trace at construction.
+type Option func(*Trace)
+
+// WithCapacity preallocates room for n events, so hot recording loops
+// append without reallocation until the trace outgrows it.
+func WithCapacity(n int) Option {
+	return func(t *Trace) {
+		if n > 0 {
+			t.events = make([]Event, 0, n)
+		}
+	}
+}
+
 // New returns an empty trace.
-func New() *Trace { return &Trace{} }
+func New(opts ...Option) *Trace {
+	t := &Trace{}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// Enabled reports whether events are being recorded. It is safe on a
+// nil receiver, so machine models guard detail-string formatting with
+// `if tr.Enabled()` and pay nothing when tracing is off.
+func (t *Trace) Enabled() bool { return t != nil }
 
 // Add records an event.
 func (t *Trace) Add(at float64, kind Kind, task, proc int, detail string) {
