@@ -20,10 +20,58 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== go test -race (concurrent packages) =="
+# The packages with real goroutine concurrency: the native machine,
+# the runtime that drives it, and the jaded server/queue/cache.
+go test -race ./internal/native ./internal/jade ./internal/serve
+
 echo "== jadebench -json smoke =="
 # The emitted document must parse and carry the jadebench/v1 keys;
 # jsoncheck avoids a jq/python dependency.
 go run ./cmd/jadebench -experiment table4 -scale small -json |
     go run ./internal/tools/jsoncheck schema scale experiments runs
+
+echo "== jaded smoke =="
+# Start the server on an ephemeral port, submit the same small sync
+# job twice, and check the second response is served from the cache.
+tmp=$(mktemp -d)
+jaded_pid=""
+cleanup() {
+    [ -n "$jaded_pid" ] && kill "$jaded_pid" 2>/dev/null || true
+    [ -n "$jaded_pid" ] && wait "$jaded_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/jaded" ./cmd/jaded
+go build -o "$tmp/jsoncheck" ./internal/tools/jsoncheck
+"$tmp/jaded" -addr 127.0.0.1:0 -workers 1 >"$tmp/jaded.log" 2>&1 &
+jaded_pid=$!
+
+# Scrape the chosen address from the startup line.
+addr=""
+i=0
+while [ $i -lt 50 ]; do
+    addr=$(sed -n 's#^jaded: listening on http://##p' "$tmp/jaded.log")
+    [ -n "$addr" ] && break
+    kill -0 "$jaded_pid" 2>/dev/null || { cat "$tmp/jaded.log" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || { echo "jaded: never reported an address" >&2; exit 1; }
+
+curl -fsS "http://$addr/healthz" | "$tmp/jsoncheck" status uptime_sec
+curl -fsS "http://$addr/v1/experiments" | "$tmp/jsoncheck" schema count experiments.0.id
+
+spec='{"schema":"jade-job/v1","experiments":["table4"],"scale":"small"}'
+curl -fsS -X POST -d "$spec" "http://$addr/v1/jobs?sync=1" >"$tmp/first.json"
+"$tmp/jsoncheck" schema status spec_hash result.schema result.experiments.0.id <"$tmp/first.json"
+curl -fsS -X POST -d "$spec" "http://$addr/v1/jobs?sync=1" >"$tmp/second.json"
+"$tmp/jsoncheck" schema status spec_hash cache_hit result.schema <"$tmp/second.json"
+grep -q '"cache_hit": true' "$tmp/second.json" ||
+    { echo "jaded: repeat submission was not a cache hit" >&2; exit 1; }
+
+curl -fsS "http://$addr/metricz" |
+    "$tmp/jsoncheck" schema cache_hits queue_depth experiment_latency_sec.table4
 
 echo "CI OK"

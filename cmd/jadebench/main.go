@@ -41,20 +41,19 @@ func main() {
 		return
 	}
 
-	var scale experiments.Scale
-	switch *scaleStr {
-	case "small":
-		scale = experiments.Small
-	case "paper":
-		scale = experiments.PaperScale
-	default:
-		fmt.Fprintf(os.Stderr, "jadebench: unknown scale %q (want small or paper)\n", *scaleStr)
+	// Validate the flags up front so a typo fails in one line with
+	// the valid choices, before any experiment work starts.
+	scale, err := experiments.ParseScale(*scaleStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
 		os.Exit(2)
 	}
-
 	ids := []string{*expID}
 	if *expID == "all" {
 		ids = experiments.IDs()
+	} else if _, err := experiments.Get(*expID); err != nil {
+		fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
+		os.Exit(2)
 	}
 	if *jsonOut {
 		rep, err := experiments.BuildReport(ids, scale)

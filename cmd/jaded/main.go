@@ -1,0 +1,86 @@
+// Command jaded serves the experiment engine over HTTP/JSON: submit
+// jade-job/v1 jobs, poll their status, and read live serving metrics.
+// Results are memoized — the machine models are deterministic, so a
+// repeated job spec is a cache hit answered instantly with the
+// byte-identical jadebench/v1 document.
+//
+// Usage:
+//
+//	jaded [-addr 127.0.0.1:8274] [-workers 2] [-queue 32] [-cache 128] [-job-timeout 2m]
+//
+// Endpoints:
+//
+//	POST /v1/jobs            submit a job; ?sync=1 blocks (small scale only)
+//	GET  /v1/jobs/{id}       job status, plus the result document when done
+//	GET  /v1/experiments     experiment catalog
+//	GET  /healthz            liveness
+//	GET  /metricz            queue depth, worker utilization, cache hit
+//	                         rate, per-experiment latency p50/p95
+//
+// SIGINT/SIGTERM shut down gracefully: running jobs drain, queued
+// jobs fail with a clear status. See EXPERIMENTS.md ("Serving") for
+// the request and response schemas.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8274", "listen address (host:port; port 0 picks a free port)")
+		workers      = flag.Int("workers", 2, "concurrent experiment workers")
+		queueCap     = flag.Int("queue", 32, "job queue capacity (submissions beyond it get HTTP 429)")
+		cacheEntries = flag.Int("cache", 128, "result cache entries (negative disables caching)")
+		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "per-job execution timeout")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jaded: %v\n", err)
+		os.Exit(1)
+	}
+	srv := serve.New(serve.Config{
+		Workers:      *workers,
+		QueueCap:     *queueCap,
+		CacheEntries: *cacheEntries,
+		JobTimeout:   *jobTimeout,
+	})
+	// The exact address goes to stdout so scripts can scrape the
+	// kernel-assigned port when started with :0.
+	fmt.Printf("jaded: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "jaded: shutting down — draining running jobs, failing queued ones")
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(sctx)
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "jaded: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	case err := <-serveErr:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "jaded: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

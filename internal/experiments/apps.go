@@ -13,6 +13,8 @@ import (
 // appSpec adapts one application to the experiment runners.
 type appSpec struct {
 	name string
+	// key is the canonical RunSpec app name (lowercase, stable).
+	key string
 	// hasPlacement marks apps the programmer can explicitly place
 	// (Ocean and Panel Cholesky; §5.2).
 	hasPlacement bool
@@ -70,6 +72,7 @@ func choleskyWorkload(scale Scale) *cholesky.Workload {
 
 var waterApp = &appSpec{
 	name: "Water",
+	key:  "water",
 	run: func(rt *jade.Runtime, scale Scale, place bool) {
 		water.Run(rt, waterCfg(scale))
 	},
@@ -79,6 +82,7 @@ var waterApp = &appSpec{
 
 var tomoApp = &appSpec{
 	name: "String",
+	key:  "string",
 	run: func(rt *jade.Runtime, scale Scale, place bool) {
 		tomo.Run(rt, tomoCfg(scale))
 	},
@@ -88,6 +92,7 @@ var tomoApp = &appSpec{
 
 var oceanApp = &appSpec{
 	name:         "Ocean",
+	key:          "ocean",
 	hasPlacement: true,
 	run: func(rt *jade.Runtime, scale Scale, place bool) {
 		cfg := oceanCfg(scale)
@@ -100,6 +105,7 @@ var oceanApp = &appSpec{
 
 var choleskyApp = &appSpec{
 	name:         "Panel Cholesky",
+	key:          "cholesky",
 	hasPlacement: true,
 	run: func(rt *jade.Runtime, scale Scale, place bool) {
 		cfg := choleskyCfg(scale)

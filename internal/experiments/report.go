@@ -4,11 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
-	"repro/internal/dash"
-	"repro/internal/ipsc"
-	"repro/internal/jade"
 	"repro/internal/metrics"
-	"repro/internal/obsv"
 )
 
 // BenchSchema identifies the jadebench JSON layout. Bump only on
@@ -49,55 +45,25 @@ type BenchReport struct {
 // midpoint of the paper's sweeps and keeps the report cheap.
 const instrumentedProcs = 8
 
-// instrumentedRuns executes every app on both primary machine models
-// with an Observer attached, at the highest locality level the app
-// supports. These runs feed the per-object and latency sections of
-// the report; the sweep tables above them stay observer-free.
-func instrumentedRuns(scale Scale) []InstrumentedRun {
-	var runs []InstrumentedRun
-	for _, a := range allApps {
-		place := a.hasPlacement
-		level := "locality"
-		if place {
-			level = "placement"
-		}
-
-		dl := dash.Locality
-		if place {
-			dl = dash.TaskPlacement
-		}
-		dm := dash.New(dash.DefaultConfig(instrumentedProcs, dl))
-		dm.Obs = obsv.New(instrumentedProcs)
-		drt := jade.New(dm, jade.Config{})
-		a.run(drt, scale, place)
-		runs = append(runs, InstrumentedRun{
-			App: a.name, Machine: "dash", Procs: instrumentedProcs,
-			Level: level, Metrics: drt.Finish().Report(),
-		})
-
-		il := ipsc.Locality
-		if place {
-			il = ipsc.TaskPlacement
-		}
-		im := ipsc.New(ipsc.DefaultConfig(instrumentedProcs, il))
-		im.Obs = obsv.New(instrumentedProcs)
-		irt := jade.New(im, jade.Config{})
-		a.run(irt, scale, place)
-		runs = append(runs, InstrumentedRun{
-			App: a.name, Machine: "ipsc", Procs: instrumentedProcs,
-			Level: level, Metrics: irt.Finish().Report(),
-		})
-	}
-	return runs
+// BuildReport runs the given experiments plus the standard
+// instrumented run per app/machine pair (DefaultRunSpecs) and
+// assembles the jadebench/v1 report.
+func BuildReport(ids []string, scale Scale) (*BenchReport, error) {
+	return BuildReportWithRuns(ids, DefaultRunSpecs(), scale)
 }
 
-// BuildReport runs the given experiments plus one instrumented run
-// per app/machine pair and assembles the jadebench/v1 report.
-func BuildReport(ids []string, scale Scale) (*BenchReport, error) {
+// BuildReportWithRuns runs the given experiment IDs and the given run
+// specs at one scale and assembles the jadebench/v1 report. Both
+// lists may be empty; the report preserves their order. This is the
+// entry point the jaded job service drives: every part of the request
+// is serializable data, and on the deterministic machine models the
+// same inputs always produce a byte-identical document.
+func BuildReportWithRuns(ids []string, specs []RunSpec, scale Scale) (*BenchReport, error) {
 	rep := &BenchReport{
 		Schema:      BenchSchema,
 		Scale:       string(scale),
 		Experiments: []ResultJSON{},
+		Runs:        []InstrumentedRun{},
 	}
 	for _, id := range ids {
 		res, err := Run(id, scale)
@@ -109,7 +75,13 @@ func BuildReport(ids []string, scale Scale) (*BenchReport, error) {
 			Rows: res.Rows, Notes: res.Notes,
 		})
 	}
-	rep.Runs = instrumentedRuns(scale)
+	for _, spec := range specs {
+		ir, err := spec.Instrumented(scale)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs = append(rep.Runs, ir)
+	}
 	return rep, nil
 }
 

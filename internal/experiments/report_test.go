@@ -101,7 +101,11 @@ func TestExperimentTablesUnchangedByObserver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	instrumentedRuns(Small)
+	for _, spec := range DefaultRunSpecs() {
+		if _, err := spec.Instrumented(Small); err != nil {
+			t.Fatal(err)
+		}
+	}
 	after, err := Run("table4", Small)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/dash"
+	"repro/internal/ipsc"
+	"repro/internal/jade"
+	"repro/internal/metrics"
+	"repro/internal/obsv"
+)
+
+// RunSpec is a serializable description of one Jade execution: an
+// application, a machine model, a processor count, a locality level,
+// and the optimization toggles the paper studies. It is the unit the
+// jaded job service runs — everything an experiment driver hard-codes
+// is expressible as data here, and a canonical (Canonicalize'd) spec
+// always produces the same *metrics.Run on the deterministic machine
+// models.
+type RunSpec struct {
+	// App selects the application: water, string, ocean, cholesky.
+	App string `json:"app"`
+	// Machine selects the platform model: dash, ipsc, cluster.
+	Machine string `json:"machine"`
+	// Procs is the processor count (default 8, the midpoint of the
+	// paper's sweeps).
+	Procs int `json:"procs"`
+	// Level is the locality optimization level: none, locality, or
+	// placement. Empty selects the highest level the app supports.
+	// The cluster model has no levels; the field must stay empty.
+	Level string `json:"level,omitempty"`
+	// WorkFree strips task bodies (the task-management measurements
+	// behind Figures 10/11/20/21).
+	WorkFree bool `json:"work_free,omitempty"`
+	// Observe attaches the structured observer so the run's report
+	// carries per-object stats, latency histograms, and timelines.
+	Observe bool `json:"observe,omitempty"`
+
+	// iPSC-only toggles (§3.4, §5.6, §6). Pointer fields distinguish
+	// "unset" (keep the paper's baseline) from an explicit false.
+	AdaptiveBroadcast *bool `json:"adaptive_broadcast,omitempty"`
+	ConcurrentFetch   *bool `json:"concurrent_fetch,omitempty"`
+	EagerUpdate       bool  `json:"eager_update,omitempty"`
+	StickyTarget      bool  `json:"sticky_target,omitempty"`
+	// TargetTasks overrides the scheduler's tasks-per-processor
+	// target (latency hiding, §3.4.3); 0 keeps the default of 1.
+	TargetTasks int `json:"target_tasks,omitempty"`
+
+	// SpeedAware enables the cluster model's speed-weighted scheduler.
+	SpeedAware bool `json:"speed_aware,omitempty"`
+}
+
+// Level names accepted by RunSpec.
+const (
+	LevelNone      = "none"
+	LevelLocality  = "locality"
+	LevelPlacement = "placement"
+)
+
+// maxSpecProcs bounds the processor count a spec may request; the
+// paper sweeps to 32 and the models stay meaningful a factor beyond.
+const maxSpecProcs = 64
+
+// appKeys maps spec app names to their drivers. "tomo" is accepted as
+// an alias for the String application's package name.
+var appKeys = map[string]*appSpec{
+	"water":    waterApp,
+	"string":   tomoApp,
+	"tomo":     tomoApp,
+	"ocean":    oceanApp,
+	"cholesky": choleskyApp,
+}
+
+// appKeyNames returns the canonical app names, sorted for error text.
+func appKeyNames() string { return "water, string, ocean, cholesky" }
+
+// ParseScale validates a workload-scale string.
+func ParseScale(s string) (Scale, error) {
+	switch Scale(s) {
+	case Small:
+		return Small, nil
+	case PaperScale:
+		return PaperScale, nil
+	}
+	return "", fmt.Errorf("unknown scale %q (valid: %s, %s)", s, Small, PaperScale)
+}
+
+// Canonicalize validates the spec and rewrites it into canonical form
+// (lowercased names, aliases resolved, defaults filled in), so that
+// equivalent specs marshal to identical JSON. It must be called
+// before Execute; the jaded service hashes the canonical form.
+func (s *RunSpec) Canonicalize() error {
+	s.App = strings.ToLower(strings.TrimSpace(s.App))
+	s.Machine = strings.ToLower(strings.TrimSpace(s.Machine))
+	s.Level = strings.ToLower(strings.TrimSpace(s.Level))
+
+	a, ok := appKeys[s.App]
+	if !ok {
+		return fmt.Errorf("run spec: unknown app %q (valid: %s)", s.App, appKeyNames())
+	}
+	if s.App == "tomo" {
+		s.App = "string"
+	}
+	switch s.Machine {
+	case "dash", "ipsc", "cluster":
+	default:
+		return fmt.Errorf("run spec: unknown machine %q (valid: dash, ipsc, cluster)", s.Machine)
+	}
+	if s.Procs == 0 {
+		s.Procs = instrumentedProcs
+	}
+	if s.Procs < 1 || s.Procs > maxSpecProcs {
+		return fmt.Errorf("run spec: procs %d out of range [1, %d]", s.Procs, maxSpecProcs)
+	}
+
+	if s.Machine == "cluster" {
+		if s.Level != "" && s.Level != LevelNone {
+			return fmt.Errorf("run spec: the cluster machine has no locality levels (got %q)", s.Level)
+		}
+		s.Level = ""
+	} else {
+		if s.Level == "" {
+			s.Level = LevelLocality
+			if a.hasPlacement {
+				s.Level = LevelPlacement
+			}
+		}
+		switch s.Level {
+		case LevelNone, LevelLocality:
+		case LevelPlacement:
+			if !a.hasPlacement {
+				return fmt.Errorf("run spec: app %q supports no explicit placement (valid levels: %s, %s)",
+					s.App, LevelNone, LevelLocality)
+			}
+		default:
+			return fmt.Errorf("run spec: unknown level %q (valid: %s, %s, %s)",
+				s.Level, LevelNone, LevelLocality, LevelPlacement)
+		}
+	}
+
+	if s.Machine != "ipsc" {
+		if s.AdaptiveBroadcast != nil || s.ConcurrentFetch != nil || s.EagerUpdate ||
+			s.StickyTarget || s.TargetTasks != 0 {
+			return fmt.Errorf("run spec: adaptive_broadcast, concurrent_fetch, eager_update, "+
+				"sticky_target and target_tasks apply only to the ipsc machine (got %q)", s.Machine)
+		}
+	}
+	if s.TargetTasks < 0 || s.TargetTasks > 16 {
+		return fmt.Errorf("run spec: target_tasks %d out of range [0, 16]", s.TargetTasks)
+	}
+	if s.Machine != "cluster" && s.SpeedAware {
+		return fmt.Errorf("run spec: speed_aware applies only to the cluster machine (got %q)", s.Machine)
+	}
+	return nil
+}
+
+// dashLevel maps a canonical level name to the DASH constant.
+func dashLevel(level string) dash.LocalityLevel {
+	switch level {
+	case LevelNone:
+		return dash.NoLocality
+	case LevelPlacement:
+		return dash.TaskPlacement
+	}
+	return dash.Locality
+}
+
+// ipscLevel maps a canonical level name to the iPSC constant.
+func ipscLevel(level string) ipsc.LocalityLevel {
+	switch level {
+	case LevelNone:
+		return ipsc.NoLocality
+	case LevelPlacement:
+		return ipsc.TaskPlacement
+	}
+	return ipsc.Locality
+}
+
+// Execute canonicalizes a copy of the spec and runs it at the given
+// scale. The simulated machines are deterministic: the same canonical
+// spec and scale always produce the same Run.
+func (s RunSpec) Execute(scale Scale) (*metrics.Run, error) {
+	if err := s.Canonicalize(); err != nil {
+		return nil, err
+	}
+	a := appKeys[s.App]
+	place := s.Level == LevelPlacement && a.hasPlacement
+	var rt *jade.Runtime
+	switch s.Machine {
+	case "dash":
+		m := dash.New(dash.DefaultConfig(s.Procs, dashLevel(s.Level)))
+		if s.Observe {
+			m.Obs = obsv.New(s.Procs)
+		}
+		rt = jade.New(m, jade.Config{WorkFree: s.WorkFree})
+	case "ipsc":
+		cfg := ipsc.DefaultConfig(s.Procs, ipscLevel(s.Level))
+		if s.AdaptiveBroadcast != nil {
+			cfg.AdaptiveBroadcast = *s.AdaptiveBroadcast
+		}
+		if s.ConcurrentFetch != nil {
+			cfg.ConcurrentFetch = *s.ConcurrentFetch
+		}
+		cfg.EagerUpdate = s.EagerUpdate
+		cfg.StickyTarget = s.StickyTarget
+		if s.TargetTasks > 0 {
+			cfg.TargetTasks = s.TargetTasks
+		}
+		m := ipsc.New(cfg)
+		if s.Observe {
+			m.Obs = obsv.New(s.Procs)
+		}
+		rt = jade.New(m, jade.Config{WorkFree: s.WorkFree})
+	case "cluster":
+		cfg := cluster.DefaultConfig(s.Procs)
+		cfg.SpeedAware = s.SpeedAware
+		m := cluster.New(cfg)
+		if s.Observe {
+			m.Obs = obsv.New(s.Procs)
+		}
+		rt = jade.New(m, jade.Config{WorkFree: s.WorkFree})
+	}
+	a.run(rt, scale, place)
+	return rt.Finish(), nil
+}
+
+// Instrumented executes the spec and wraps the result in the
+// jadebench/v1 runs[] entry shape.
+func (s RunSpec) Instrumented(scale Scale) (InstrumentedRun, error) {
+	if err := s.Canonicalize(); err != nil {
+		return InstrumentedRun{}, err
+	}
+	r, err := s.Execute(scale)
+	if err != nil {
+		return InstrumentedRun{}, err
+	}
+	return InstrumentedRun{
+		App: s.App, Machine: s.Machine, Procs: s.Procs,
+		Level: s.Level, Metrics: r.Report(),
+	}, nil
+}
+
+// DefaultRunSpecs describes the standard observability runs jadebench
+// folds into its report: every application on both primary machine
+// models at 8 processors, at the highest locality level the app
+// supports, with the observer attached.
+func DefaultRunSpecs() []RunSpec {
+	var specs []RunSpec
+	for _, a := range allApps {
+		level := LevelLocality
+		if a.hasPlacement {
+			level = LevelPlacement
+		}
+		for _, machine := range []string{"dash", "ipsc"} {
+			specs = append(specs, RunSpec{
+				App: a.key, Machine: machine, Procs: instrumentedProcs,
+				Level: level, Observe: true,
+			})
+		}
+	}
+	return specs
+}

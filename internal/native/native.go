@@ -40,6 +40,7 @@ func New(workers int) *Machine {
 	m := &Machine{n: workers}
 	m.cond = sync.NewCond(&m.mu)
 	m.stats.Procs = workers
+	m.stats.ProcBusy = make([]float64, workers)
 	return m
 }
 
@@ -48,7 +49,7 @@ func (m *Machine) Attach(rt *jade.Runtime) {
 	m.rt = rt
 	m.start = time.Now()
 	for i := 0; i < m.n; i++ {
-		go m.worker()
+		go m.worker(i)
 	}
 }
 
@@ -109,7 +110,7 @@ func (m *Machine) Stats() *metrics.Run {
 func (m *Machine) ResetStats() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.stats = metrics.Run{Procs: m.n}
+	m.stats = metrics.Run{Procs: m.n, ProcBusy: make([]float64, m.n)}
 	m.start = time.Now()
 }
 
@@ -121,7 +122,7 @@ func (m *Machine) Close() {
 	m.mu.Unlock()
 }
 
-func (m *Machine) worker() {
+func (m *Machine) worker(id int) {
 	for {
 		m.mu.Lock()
 		for len(m.queue) == 0 && !m.closed {
@@ -135,6 +136,7 @@ func (m *Machine) worker() {
 		m.queue = m.queue[1:]
 		m.mu.Unlock()
 
+		busyStart := time.Now()
 		if segs := t.Segments; len(segs) > 0 {
 			for i := range segs {
 				m.rt.RunSegmentBody(t, i)
@@ -149,8 +151,11 @@ func (m *Machine) worker() {
 			m.rt.RunBody(t)
 			m.rt.TaskDone(t)
 		}
+		busy := time.Since(busyStart).Seconds()
 
 		m.mu.Lock()
+		m.stats.ProcBusy[id] += busy
+		m.stats.TaskExecTotal += busy
 		m.pending--
 		if m.pending == 0 {
 			m.cond.Broadcast()

@@ -154,6 +154,65 @@ func TestStatsCountTasks(t *testing.T) {
 	}
 }
 
+// TestRunMetricsPopulated asserts the fields a native run reports —
+// task count, elapsed wall time, and per-worker busy time — not just
+// result correctness.
+func TestRunMetricsPopulated(t *testing.T) {
+	const workers, tasks = 3, 9
+	const perTask = 2 * time.Millisecond
+	m := New(workers)
+	defer m.Close()
+	rt := jade.New(m, jade.Config{})
+	for i := 0; i < tasks; i++ {
+		o := rt.Alloc("o", 8, nil)
+		rt.WithOnly(func(s *jade.Spec) { s.Wr(o) }, 0, func() {
+			time.Sleep(perTask)
+		})
+	}
+	res := rt.Finish()
+
+	if res.TaskCount != tasks {
+		t.Fatalf("TaskCount = %d, want %d", res.TaskCount, tasks)
+	}
+	if res.Procs != workers {
+		t.Fatalf("Procs = %d, want %d", res.Procs, workers)
+	}
+	if res.ExecTime <= 0 {
+		t.Fatal("ExecTime not populated")
+	}
+	if len(res.ProcBusy) != workers {
+		t.Fatalf("len(ProcBusy) = %d, want one entry per worker (%d)", len(res.ProcBusy), workers)
+	}
+	var busySum float64
+	for _, b := range res.ProcBusy {
+		if b < 0 {
+			t.Fatalf("negative busy time: %v", res.ProcBusy)
+		}
+		busySum += b
+	}
+	// Sleep guarantees at least perTask per body, so the summed busy
+	// time has a hard floor; it must also agree with TaskExecTotal.
+	floor := float64(tasks) * perTask.Seconds()
+	if busySum < floor {
+		t.Fatalf("sum(ProcBusy) = %v, want >= %v", busySum, floor)
+	}
+	if res.TaskExecTotal < floor {
+		t.Fatalf("TaskExecTotal = %v, want >= %v", res.TaskExecTotal, floor)
+	}
+	if diff := busySum - res.TaskExecTotal; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum(ProcBusy) = %v disagrees with TaskExecTotal = %v", busySum, res.TaskExecTotal)
+	}
+	if u := res.Utilization(); len(u) != workers {
+		t.Fatalf("Utilization() = %v, want %d entries", u, workers)
+	}
+
+	// ResetStats starts a fresh accounting window.
+	m.ResetStats()
+	if s := m.Stats(); s.TaskCount != 0 || s.TaskExecTotal != 0 || len(s.ProcBusy) != workers {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+}
+
 func TestDrainWithNoTasks(t *testing.T) {
 	m := New(2)
 	defer m.Close()

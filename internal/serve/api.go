@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/obsv"
+)
+
+// Schema tags for the response documents. Additions keep the
+// versions; renames or removals bump them.
+const (
+	// StatusSchema tags job-status responses (POST /v1/jobs and GET
+	// /v1/jobs/{id}).
+	StatusSchema = "jade-job-status/v1"
+	// CatalogSchema tags the GET /v1/experiments response.
+	CatalogSchema = "jade-catalog/v1"
+	// MetricsSchema tags the GET /metricz response.
+	MetricsSchema = "jaded-metrics/v1"
+)
+
+// Job lifecycle states reported in JobStatus.Status.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// JobStatus is the job-status response document. Result carries the
+// jadebench/v1 report once the job is done; CacheHit reports whether
+// it came from the result cache rather than a fresh run.
+type JobStatus struct {
+	Schema   string          `json:"schema"`
+	ID       string          `json:"id"`
+	Status   string          `json:"status"`
+	SpecHash string          `json:"spec_hash"`
+	CacheHit bool            `json:"cache_hit"`
+	Error    string          `json:"error,omitempty"`
+	Spec     *JobSpec        `json:"spec,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+// CatalogEntry is one experiment in the GET /v1/experiments listing.
+type CatalogEntry struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// Catalog is the GET /v1/experiments response.
+type Catalog struct {
+	Schema      string         `json:"schema"`
+	Count       int            `json:"count"`
+	Scales      []string       `json:"scales"`
+	Experiments []CatalogEntry `json:"experiments"`
+}
+
+// Health is the GET /healthz response.
+type Health struct {
+	Status    string  `json:"status"`
+	UptimeSec float64 `json:"uptime_sec"`
+}
+
+// Metrics is the GET /metricz response: queue, worker, cache, and
+// latency gauges for the serving process.
+type Metrics struct {
+	Schema            string  `json:"schema"`
+	UptimeSec         float64 `json:"uptime_sec"`
+	QueueDepth        int     `json:"queue_depth"`
+	QueueCapacity     int     `json:"queue_capacity"`
+	Workers           int     `json:"workers"`
+	BusyWorkers       int     `json:"busy_workers"`
+	WorkerUtilization float64 `json:"worker_utilization"`
+	JobsAccepted      int64   `json:"jobs_accepted"`
+	JobsCompleted     int64   `json:"jobs_completed"`
+	JobsFailed        int64   `json:"jobs_failed"`
+	JobsRejected      int64   `json:"jobs_rejected"`
+	CacheEntries      int     `json:"cache_entries"`
+	CacheHits         uint64  `json:"cache_hits"`
+	CacheMisses       uint64  `json:"cache_misses"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	// ExperimentLatency reports wall-clock job execution latency
+	// (seconds) per experiment ID, plus the "_job" aggregate over all
+	// executed jobs. Cache hits are excluded — they measure the
+	// cache, not the experiment.
+	ExperimentLatency map[string]obsv.LatencySummary `json:"experiment_latency_sec"`
+}
+
+// errorBody is the JSON error envelope for non-2xx responses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v as indented JSON with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client hung up; nothing useful to do
+}
+
+// writeErr writes a JSON error envelope.
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}

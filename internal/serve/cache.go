@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a thread-safe LRU result cache mapping a canonical job
+// spec hash to the finished jadebench/v1 document bytes. Experiment
+// runs are deterministic, so a cached document is exactly the bytes a
+// re-run would produce — hits return instantly and byte-identically.
+// Values must be treated as immutable by callers.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache creates a cache holding at most capacity entries. A
+// capacity <= 0 disables caching: Get always misses and Put is a
+// no-op.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached document for key and records a hit or miss.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		return e.Value.(*cacheEntry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Peek is Get without touching the hit/miss counters or the recency
+// order; the worker pool uses it to short-circuit a job whose result
+// landed in the cache while it sat in the queue.
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		return e.Value.(*cacheEntry).val, true
+	}
+	return nil, false
+}
+
+// Put stores val under key, evicting least-recently-used entries
+// beyond the capacity.
+func (c *Cache) Put(key string, val []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*cacheEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

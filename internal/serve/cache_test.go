@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheHitMissAndStats(t *testing.T) {
+	c := NewCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("A"))
+	v, ok := c.Get("a")
+	if !ok || string(v) != "A" {
+		t.Fatalf("Get(a) = %q,%v", v, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	c.Get("a")              // a is now most recent
+	c.Put("c", []byte("C")) // evicts b
+	if _, ok := c.Peek("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Peek("a"); !ok {
+		t.Fatal("a (recently used) was evicted")
+	}
+	if _, ok := c.Peek("c"); !ok {
+		t.Fatal("c (just inserted) missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCachePeekDoesNotCount(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("A"))
+	c.Peek("a")
+	c.Peek("zzz")
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("Peek moved the counters: %d/%d", hits, misses)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1)
+	c.Put("a", []byte("A"))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("disabled cache holds %d entries", c.Len())
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("a", []byte("A2"))
+	v, ok := c.Get("a")
+	if !ok || string(v) != "A2" {
+		t.Fatalf("Get(a) = %q,%v, want A2", v, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+// TestCacheConcurrent exercises the cache from many goroutines; the
+// -race run in CI is the real assertion.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				if v, ok := c.Get(key); ok && len(v) == 0 {
+					t.Error("empty value cached")
+					return
+				}
+				c.Put(key, []byte(key))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("Len = %d exceeds capacity", c.Len())
+	}
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// JobSchema identifies the job-request JSON layout. Bump only on
+// breaking changes; additions keep the version.
+const JobSchema = "jade-job/v1"
+
+// JobSpec is one experiment job (schema jade-job/v1): a set of
+// registered experiment IDs and/or explicit run specs, at one
+// workload scale. After Canonicalize the spec is in canonical form —
+// defaults filled, names lowercased, "all" expanded — so equivalent
+// requests marshal to identical JSON and therefore share one Hash,
+// which is what the result cache is keyed by.
+type JobSpec struct {
+	// Schema must be "jade-job/v1" (empty defaults to it).
+	Schema string `json:"schema"`
+	// Scale is the workload scale: small (default) or paper.
+	Scale string `json:"scale"`
+	// Experiments lists registered experiment IDs (see GET
+	// /v1/experiments); the single element "all" expands to every ID.
+	Experiments []string `json:"experiments,omitempty"`
+	// Runs lists explicit app × machine × toggles executions, each
+	// reported with full jade-metrics/v1 detail.
+	Runs []experiments.RunSpec `json:"runs,omitempty"`
+}
+
+// Canonicalize validates the job and rewrites it into canonical form.
+func (j *JobSpec) Canonicalize() error {
+	j.Schema = strings.TrimSpace(j.Schema)
+	if j.Schema == "" {
+		j.Schema = JobSchema
+	}
+	if j.Schema != JobSchema {
+		return fmt.Errorf("job spec: unknown schema %q (want %q)", j.Schema, JobSchema)
+	}
+	if j.Scale == "" {
+		j.Scale = string(experiments.Small)
+	}
+	scale, err := experiments.ParseScale(j.Scale)
+	if err != nil {
+		return fmt.Errorf("job spec: %v", err)
+	}
+	j.Scale = string(scale)
+
+	if len(j.Experiments) == 1 && strings.TrimSpace(j.Experiments[0]) == "all" {
+		j.Experiments = experiments.IDs()
+	}
+	for i, id := range j.Experiments {
+		id = strings.TrimSpace(id)
+		if _, err := experiments.Get(id); err != nil {
+			return fmt.Errorf("job spec: %v", err)
+		}
+		j.Experiments[i] = id
+	}
+	for i := range j.Runs {
+		if err := j.Runs[i].Canonicalize(); err != nil {
+			return fmt.Errorf("job spec: runs[%d]: %v", i, err)
+		}
+	}
+	if len(j.Experiments) == 0 && len(j.Runs) == 0 {
+		return fmt.Errorf("job spec: empty job — name at least one experiment ID or run spec")
+	}
+	return nil
+}
+
+// Hash returns the canonical spec hash (SHA-256 of the canonical JSON
+// encoding, hex). Two submissions with the same hash are the same job
+// and yield byte-identical result documents.
+func (j *JobSpec) Hash() string {
+	b, err := json.Marshal(j)
+	if err != nil {
+		// A canonical spec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("serve: marshal canonical job spec: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestJobSpecCanonicalizeDefaults(t *testing.T) {
+	j := JobSpec{Experiments: []string{"table4"}}
+	if err := j.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Schema != JobSchema {
+		t.Fatalf("Schema = %q, want %q", j.Schema, JobSchema)
+	}
+	if j.Scale != "small" {
+		t.Fatalf("Scale = %q, want small", j.Scale)
+	}
+}
+
+func TestJobSpecExpandsAll(t *testing.T) {
+	j := JobSpec{Experiments: []string{"all"}}
+	if err := j.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Experiments) != len(experiments.IDs()) {
+		t.Fatalf("all expanded to %d IDs, want %d", len(j.Experiments), len(experiments.IDs()))
+	}
+}
+
+func TestJobSpecHashStable(t *testing.T) {
+	a := JobSpec{Experiments: []string{"table4"}}
+	b := JobSpec{Schema: JobSchema, Scale: "small", Experiments: []string{" table4 "}}
+	for _, j := range []*JobSpec{&a, &b} {
+		if err := j.Canonicalize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatalf("equivalent specs hash differently:\n%s\n%s", a.Hash(), b.Hash())
+	}
+
+	c := JobSpec{Experiments: []string{"table4"}, Scale: "paper"}
+	if err := c.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Hash() == a.Hash() {
+		t.Fatal("different scales share a hash")
+	}
+
+	d := JobSpec{Runs: []experiments.RunSpec{{App: "water", Machine: "ipsc"}}}
+	if err := d.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Hash() == a.Hash() {
+		t.Fatal("different specs share a hash")
+	}
+}
+
+func TestJobSpecRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+		want string
+	}{
+		{"bad schema", JobSpec{Schema: "jade-job/v9", Experiments: []string{"table4"}}, "unknown schema"},
+		{"bad scale", JobSpec{Scale: "huge", Experiments: []string{"table4"}}, "unknown scale"},
+		{"bad experiment", JobSpec{Experiments: []string{"table99"}}, "unknown id"},
+		{"empty job", JobSpec{}, "empty job"},
+		{"bad run", JobSpec{Runs: []experiments.RunSpec{{App: "barnes", Machine: "dash"}}}, "runs[0]"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Canonicalize()
+		if err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package serve
+
+import "sync"
+
+// Queue is a bounded FIFO handoff between the HTTP front-end and the
+// worker pool. Push is non-blocking — a full queue reports
+// backpressure (the server turns it into HTTP 429) instead of letting
+// submissions pile up unboundedly — while Pop blocks workers until
+// work arrives or the queue closes.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	items    []T
+	capacity int
+	closed   bool
+}
+
+// NewQueue creates a queue holding at most capacity items (minimum 1).
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue[T]{capacity: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// TryPush appends x and reports whether it was accepted; a full or
+// closed queue refuses.
+func (q *Queue[T]) TryPush(x T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.items) >= q.capacity {
+		return false
+	}
+	q.items = append(q.items, x)
+	q.cond.Signal()
+	return true
+}
+
+// Pop removes and returns the oldest item, blocking while the queue
+// is empty. It returns ok=false once the queue is closed and drained.
+func (q *Queue[T]) Pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	x := q.items[0]
+	q.items[0] = zero // drop the reference for the garbage collector
+	q.items = q.items[1:]
+	return x, true
+}
+
+// Close marks the queue closed, wakes all blocked Pops, and returns
+// the items that were still queued so the caller can fail them.
+// Subsequent Close calls return nil.
+func (q *Queue[T]) Close() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	rest := q.items
+	q.items = nil
+	q.cond.Broadcast()
+	return rest
+}
+
+// Len returns the current depth.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Cap returns the configured capacity.
+func (q *Queue[T]) Cap() int { return q.capacity }

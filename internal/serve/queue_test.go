@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int](4)
+	for i := 1; i <= 4; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("push %d refused", i)
+		}
+	}
+	for want := 1; want <= 4; want++ {
+		got, ok := q.Pop()
+		if !ok || got != want {
+			t.Fatalf("Pop = %d,%v, want %d,true", got, ok, want)
+		}
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	q := NewQueue[int](2)
+	if !q.TryPush(1) || !q.TryPush(2) {
+		t.Fatal("pushes within capacity refused")
+	}
+	if q.TryPush(3) {
+		t.Fatal("push beyond capacity accepted")
+	}
+	if q.Len() != 2 || q.Cap() != 2 {
+		t.Fatalf("Len/Cap = %d/%d, want 2/2", q.Len(), q.Cap())
+	}
+	q.Pop()
+	if !q.TryPush(3) {
+		t.Fatal("push refused after a Pop freed a slot")
+	}
+}
+
+func TestQueueCloseDrainsAndWakes(t *testing.T) {
+	q := NewQueue[int](8)
+	q.TryPush(1)
+	q.TryPush(2)
+
+	// A consumer blocked on an empty queue must wake on Close.
+	empty := NewQueue[int](1)
+	woke := make(chan struct{})
+	go func() {
+		_, ok := empty.Pop()
+		if ok {
+			t.Error("Pop on a closed empty queue returned ok")
+		}
+		close(woke)
+	}()
+	empty.Close()
+	<-woke
+
+	rest := q.Close()
+	if len(rest) != 2 || rest[0] != 1 || rest[1] != 2 {
+		t.Fatalf("Close returned %v, want [1 2]", rest)
+	}
+	if q.TryPush(3) {
+		t.Fatal("push accepted after Close")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop returned an item after Close drained the queue")
+	}
+	if again := q.Close(); again != nil {
+		t.Fatalf("second Close returned %v, want nil", again)
+	}
+}
+
+// TestQueueConcurrent hammers the queue from concurrent producers and
+// consumers; run under -race this is the memory-safety check for the
+// worker-pool handoff.
+func TestQueueConcurrent(t *testing.T) {
+	const producers, perProducer, consumers = 8, 200, 4
+	q := NewQueue[int](64)
+	var got sync.Map
+	var wg sync.WaitGroup
+	var consumed sync.WaitGroup
+	consumed.Add(producers * perProducer)
+
+	for c := 0; c < consumers; c++ {
+		go func() {
+			for {
+				v, ok := q.Pop()
+				if !ok {
+					return
+				}
+				got.Store(v, true)
+				consumed.Done()
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := p*perProducer + i
+				for !q.TryPush(v) { // spin on backpressure
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	consumed.Wait()
+	q.Close()
+	for p := 0; p < producers*perProducer; p++ {
+		if _, ok := got.Load(p); !ok {
+			t.Fatalf("item %d never consumed", p)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+// Package serve turns the experiment engine into a long-running
+// simulation-as-a-service: cmd/jaded accepts jade-job/v1 jobs over
+// HTTP/JSON, runs them on a bounded worker pool fed by a FIFO queue
+// with backpressure, and memoizes finished jadebench/v1 documents in
+// an LRU cache keyed by the canonical spec hash. The machine models
+// are deterministic, so a cache hit returns exactly the bytes a fresh
+// run would produce — the service amortizes the paper's experiment
+// sweeps across requests instead of rebuilding them per invocation.
+//
+// API surface:
+//
+//	POST /v1/jobs            submit a job; ?sync=1 blocks (small scale only)
+//	GET  /v1/jobs/{id}       job status + result document when done
+//	GET  /v1/experiments     experiment catalog
+//	GET  /healthz            liveness
+//	GET  /metricz            queue/worker/cache/latency gauges
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obsv"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// Workers is the number of concurrent job executors (default 2).
+	Workers int
+	// QueueCap bounds the job queue; submissions beyond it get HTTP
+	// 429 (default 32).
+	QueueCap int
+	// CacheEntries sizes the LRU result cache; 0 selects the default
+	// of 128, negative disables caching.
+	CacheEntries int
+	// JobTimeout fails a job still executing after this long
+	// (default 2m).
+	JobTimeout time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.QueueCap < 1 {
+		c.QueueCap = 32
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+}
+
+// Job is one submitted job. Mutable fields are guarded by the
+// server's mutex; done closes when the job reaches a terminal state.
+type Job struct {
+	ID   string
+	Hash string
+	Spec *JobSpec
+
+	status   string
+	cacheHit bool
+	result   json.RawMessage
+	errMsg   string
+	done     chan struct{}
+}
+
+// Server is the jaded HTTP handler plus its worker pool. Create with
+// New, serve it with net/http, and stop it with Shutdown.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue *Queue[*Job]
+	cache *Cache
+	start time.Time
+	wg    sync.WaitGroup
+
+	// runFn executes a canonical job spec; tests substitute a
+	// controllable runner.
+	runFn func(*JobSpec) ([]byte, error)
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	seq       int
+	busy      int
+	shutdown  bool
+	accepted  int64
+	completed int64
+	failed    int64
+	rejected  int64
+	latency   map[string]*obsv.Histogram
+}
+
+// New creates a server and starts its worker pool.
+func New(cfg Config) *Server {
+	return newServer(cfg, runJobSpec)
+}
+
+// newServer wires a server around an arbitrary runner; tests inject
+// controllable ones.
+func newServer(cfg Config, runFn func(*JobSpec) ([]byte, error)) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:     cfg,
+		queue:   NewQueue[*Job](cfg.QueueCap),
+		cache:   NewCache(cfg.CacheEntries),
+		start:   time.Now(),
+		runFn:   runFn,
+		jobs:    make(map[string]*Job),
+		latency: make(map[string]*obsv.Histogram),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleCatalog)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metricz", s.handleMetrics)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// runJobSpec executes a canonical job spec against the experiment
+// engine and returns the encoded jadebench/v1 document.
+func runJobSpec(spec *JobSpec) ([]byte, error) {
+	rep, err := experiments.BuildReportWithRuns(spec.Experiments, spec.Runs, experiments.Scale(spec.Scale))
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Shutdown drains the server: the queue closes, jobs still queued
+// fail with a clear status, and running jobs are waited for until ctx
+// expires. Callers should stop the HTTP listener first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.shutdown = true
+	s.mu.Unlock()
+	for _, j := range s.queue.Close() {
+		s.finish(j, nil, false, fmt.Errorf("server shut down before the job started"))
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ---- worker pool ----
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.execute(j)
+	}
+}
+
+// execute runs one job with the per-job timeout applied.
+func (s *Server) execute(j *Job) {
+	// An identical job may have finished while this one queued.
+	if data, ok := s.cache.Peek(j.Hash); ok {
+		s.finish(j, data, true, nil)
+		return
+	}
+	s.mu.Lock()
+	j.status = StatusRunning
+	s.busy++
+	s.mu.Unlock()
+	started := time.Now()
+
+	type outcome struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	spec := j.Spec
+	go func() {
+		data, err := s.runFn(spec)
+		ch <- outcome{data, err}
+	}()
+
+	var data []byte
+	var err error
+	timer := time.NewTimer(s.cfg.JobTimeout)
+	select {
+	case o := <-ch:
+		timer.Stop()
+		data, err = o.data, o.err
+	case <-timer.C:
+		// The runner has no cancellation points mid-simulation; the
+		// goroutine is abandoned and its eventual result dropped.
+		err = fmt.Errorf("job exceeded the %s execution timeout", s.cfg.JobTimeout)
+	}
+	if err == nil {
+		s.cache.Put(j.Hash, data)
+		s.observe(j, time.Since(started).Seconds())
+	}
+	s.mu.Lock()
+	s.busy--
+	s.mu.Unlock()
+	s.finish(j, data, false, err)
+}
+
+// finish moves a job to its terminal state and wakes waiters.
+func (s *Server) finish(j *Job, data []byte, cacheHit bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.cacheHit = cacheHit
+	if err != nil {
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+		s.failed++
+	} else {
+		j.status = StatusDone
+		j.result = data
+		s.completed++
+	}
+	close(j.done)
+}
+
+// observe records one executed job's wall latency under each
+// experiment ID it ran, plus the "_job" aggregate.
+func (s *Server) observe(j *Job, sec float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	record := func(key string) {
+		h := s.latency[key]
+		if h == nil {
+			h = &obsv.Histogram{}
+			s.latency[key] = h
+		}
+		h.Record(sec)
+	}
+	record("_job")
+	for _, id := range j.Spec.Experiments {
+		record(id)
+	}
+	if len(j.Spec.Runs) > 0 {
+		record("_runs")
+	}
+}
+
+// ---- handlers ----
+
+// maxSpecBytes bounds a job-spec request body.
+const maxSpecBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid job spec JSON: "+err.Error())
+		return
+	}
+	if err := spec.Canonicalize(); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	hash := spec.Hash()
+	sync := r.URL.Query().Get("sync") == "1"
+	if sync && spec.Scale != string(experiments.Small) {
+		writeErr(w, http.StatusBadRequest,
+			"?sync=1 is only supported for scale \"small\"; submit paper-scale jobs asynchronously")
+		return
+	}
+
+	// Served from the result cache: the job is born done.
+	if data, ok := s.cache.Get(hash); ok {
+		j, err := s.newJob(&spec, hash)
+		if err != nil {
+			writeErr(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		s.finish(j, data, true, nil)
+		writeJSON(w, http.StatusOK, s.statusDoc(j, true))
+		return
+	}
+
+	j, err := s.newJob(&spec, hash)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	if !s.queue.TryPush(j) {
+		s.mu.Lock()
+		delete(s.jobs, j.ID)
+		s.accepted--
+		s.rejected++
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests,
+			fmt.Sprintf("job queue is full (%d queued); retry later", s.queue.Cap()))
+		return
+	}
+	if !sync {
+		writeJSON(w, http.StatusAccepted, s.statusDoc(j, false))
+		return
+	}
+	select {
+	case <-j.done:
+		writeJSON(w, http.StatusOK, s.statusDoc(j, true))
+	case <-r.Context().Done():
+		// The client hung up; the job keeps running and stays
+		// pollable under its ID.
+	}
+}
+
+// newJob registers a fresh queued job, refusing during shutdown.
+func (s *Server) newJob(spec *JobSpec, hash string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shutdown {
+		return nil, fmt.Errorf("server is shutting down")
+	}
+	s.seq++
+	j := &Job{
+		ID:     fmt.Sprintf("job-%06d", s.seq),
+		Hash:   hash,
+		Spec:   spec,
+		status: StatusQueued,
+		done:   make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	s.accepted++
+	return j, nil
+}
+
+// statusDoc snapshots a job into its response document.
+func (s *Server) statusDoc(j *Job, includeResult bool) *JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	doc := &JobStatus{
+		Schema:   StatusSchema,
+		ID:       j.ID,
+		Status:   j.status,
+		SpecHash: j.Hash,
+		CacheHit: j.cacheHit,
+		Error:    j.errMsg,
+		Spec:     j.Spec,
+	}
+	if includeResult && j.status == StatusDone {
+		doc.Result = j.result
+	}
+	return doc
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statusDoc(j, true))
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	ids := experiments.IDs()
+	cat := Catalog{
+		Schema:      CatalogSchema,
+		Count:       len(ids),
+		Scales:      []string{string(experiments.Small), string(experiments.PaperScale)},
+		Experiments: make([]CatalogEntry, 0, len(ids)),
+	}
+	for _, id := range ids {
+		e, err := experiments.Get(id)
+		if err != nil {
+			continue // unreachable: IDs() only lists registered experiments
+		}
+		cat.Experiments = append(cat.Experiments, CatalogEntry{ID: e.ID, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, cat)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{Status: "ok", UptimeSec: time.Since(s.start).Seconds()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.Stats()
+	s.mu.Lock()
+	m := Metrics{
+		Schema:            MetricsSchema,
+		UptimeSec:         time.Since(s.start).Seconds(),
+		QueueDepth:        s.queue.Len(),
+		QueueCapacity:     s.queue.Cap(),
+		Workers:           s.cfg.Workers,
+		BusyWorkers:       s.busy,
+		WorkerUtilization: float64(s.busy) / float64(s.cfg.Workers),
+		JobsAccepted:      s.accepted,
+		JobsCompleted:     s.completed,
+		JobsFailed:        s.failed,
+		JobsRejected:      s.rejected,
+		CacheEntries:      s.cache.Len(),
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		ExperimentLatency: make(map[string]obsv.LatencySummary, len(s.latency)),
+	}
+	if hits+misses > 0 {
+		m.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	for id, h := range s.latency {
+		m.ExperimentLatency[id] = h.Summary()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, m)
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// lookup resolves a dotted key path against a decoded JSON document:
+// each segment indexes an object by key, or an array by non-negative
+// integer (e.g. "runs.0.metrics.schema").
+func lookup(doc any, path string) (any, bool) {
+	cur := doc
+	for _, seg := range strings.Split(path, ".") {
+		switch v := cur.(type) {
+		case map[string]any:
+			nxt, ok := v[seg]
+			if !ok {
+				return nil, false
+			}
+			cur = nxt
+		case []any:
+			i, err := strconv.Atoi(seg)
+			if err != nil || i < 0 || i >= len(v) {
+				return nil, false
+			}
+			cur = v[i]
+		default:
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// checkPaths verifies every dotted key path resolves in doc,
+// returning an error naming the first that does not.
+func checkPaths(doc map[string]any, paths []string) error {
+	for _, p := range paths {
+		if _, ok := lookup(doc, p); !ok {
+			return fmt.Errorf("missing key path %q", p)
+		}
+	}
+	return nil
+}

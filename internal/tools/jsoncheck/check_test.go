@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `{
+	"schema": "jadebench/v1",
+	"status": "done",
+	"result": {
+		"schema": "jadebench/v1",
+		"experiments": [
+			{"id": "table4", "rows": [["a", "b"]]},
+			{"id": "fig2"}
+		]
+	},
+	"cache_hit": false,
+	"empty": null
+}`
+
+func decode(t *testing.T) map[string]any {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sample), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestLookupPaths(t *testing.T) {
+	doc := decode(t)
+	hits := []string{
+		"schema",
+		"status",
+		"result",
+		"result.schema",
+		"result.experiments",
+		"result.experiments.0.id",
+		"result.experiments.1",
+		"result.experiments.0.rows.0.1",
+		"cache_hit",
+		"empty", // present-but-null still counts as present
+	}
+	for _, p := range hits {
+		if _, ok := lookup(doc, p); !ok {
+			t.Errorf("lookup(%q) = false, want true", p)
+		}
+	}
+	misses := []string{
+		"nope",
+		"result.nope",
+		"result.experiments.2",  // index out of range
+		"result.experiments.x",  // non-integer array index
+		"result.experiments.-1", // negative index
+		"schema.deeper",         // descending through a scalar
+		"result.experiments.0.rows.0.1.deeper",
+	}
+	for _, p := range misses {
+		if _, ok := lookup(doc, p); ok {
+			t.Errorf("lookup(%q) = true, want false", p)
+		}
+	}
+}
+
+func TestLookupValue(t *testing.T) {
+	doc := decode(t)
+	v, ok := lookup(doc, "result.experiments.0.id")
+	if !ok || v != "table4" {
+		t.Fatalf("lookup = %v,%v, want table4,true", v, ok)
+	}
+}
+
+func TestCheckPaths(t *testing.T) {
+	doc := decode(t)
+	if err := checkPaths(doc, []string{"schema", "result.schema", "result.experiments.0.id"}); err != nil {
+		t.Fatal(err)
+	}
+	err := checkPaths(doc, []string{"schema", "result.missing"})
+	if err == nil {
+		t.Fatal("checkPaths accepted a missing path")
+	}
+	if !strings.Contains(err.Error(), "result.missing") {
+		t.Fatalf("error %q does not name the missing path", err)
+	}
+}

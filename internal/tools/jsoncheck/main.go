@@ -1,11 +1,14 @@
 // Command jsoncheck validates that stdin is a JSON object and that it
-// contains every top-level key named on the command line. It exists so
-// ci.sh can smoke-test jadebench -json output without depending on jq
-// or python being installed.
+// contains every key path named on the command line. A path is either
+// a top-level key or a dotted path descending through nested objects
+// and arrays (array segments are integer indexes). It exists so ci.sh
+// can smoke-test jadebench -json and jaded responses without
+// depending on jq or python being installed.
 //
 // Usage:
 //
 //	jadebench -experiment table4 -json | go run ./internal/tools/jsoncheck schema runs
+//	curl -s localhost:8274/v1/jobs/job-000001 | go run ./internal/tools/jsoncheck result.schema status
 package main
 
 import (
@@ -21,11 +24,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "jsoncheck: stdin is not a JSON object: %v\n", err)
 		os.Exit(1)
 	}
-	for _, key := range os.Args[1:] {
-		if _, ok := doc[key]; !ok {
-			fmt.Fprintf(os.Stderr, "jsoncheck: missing top-level key %q\n", key)
-			os.Exit(1)
-		}
+	if err := checkPaths(doc, os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "jsoncheck: %v\n", err)
+		os.Exit(1)
 	}
-	fmt.Printf("jsoncheck: ok (%d top-level keys)\n", len(doc))
+	fmt.Printf("jsoncheck: ok (%d key paths)\n", len(os.Args[1:]))
 }
