@@ -1,7 +1,35 @@
 #!/bin/sh
 # ci.sh — the repository's tier-1 gate plus an observability smoke
 # test. Run from the repo root; exits non-zero on the first failure.
+#
+#   ./ci.sh         tier-1 gate: gofmt, vet, build, test, race, smokes
+#   ./ci.sh bench   benchmark trajectory: run the tier-1 benchmarks,
+#                   write BENCH_<commit>.json (jade-bench/v1), and fail
+#                   if any benchmark regressed >20% vs BENCH_baseline.json
 set -eu
+
+if [ "${1:-}" = "bench" ]; then
+    commit=$(git rev-parse --short HEAD)
+    out="BENCH_${commit}.json"
+    echo "== bench (writing $out) =="
+    baseline_args=""
+    if [ -f BENCH_baseline.json ]; then
+        baseline_args="-baseline BENCH_baseline.json -tolerance 0.20"
+    else
+        echo "bench: no BENCH_baseline.json, recording only (no gate)" >&2
+    fi
+    # The tier-1 benchmark set: the event engine and processor hot
+    # paths, and the paper's table experiments end to end. -benchtime
+    # is kept short; the 20% gate absorbs the extra noise.
+    {
+        go test -run '^$' -bench '^Benchmark(Engine|Processor)' \
+            -benchmem -benchtime 0.2s ./internal/sim
+        go test -run '^$' -bench '^BenchmarkTable([1-9]|1[0-4])$' \
+            -benchmem -benchtime 0.2s .
+    } | go run ./internal/tools/benchjson -commit "$commit" -o "$out" $baseline_args
+    echo "bench OK: $out"
+    exit 0
+fi
 
 echo "== gofmt =="
 unformatted=$(gofmt -l . 2>/dev/null)
@@ -22,8 +50,9 @@ go test ./...
 
 echo "== go test -race (concurrent packages) =="
 # The packages with real goroutine concurrency: the native machine,
-# the runtime that drives it, and the jaded server/queue/cache.
-go test -race ./internal/native ./internal/jade ./internal/serve
+# the runtime that drives it, the jaded server/queue/cache, and the
+# parallel experiment fan-out.
+go test -race ./internal/native ./internal/jade ./internal/serve ./internal/experiments
 
 echo "== jadebench -json smoke =="
 # The emitted document must parse and carry the jadebench/v1 keys;

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	jadebench -list
-//	jadebench -experiment table4 [-scale small|paper]
+//	jadebench -experiment table4 [-scale small|paper] [-parallel N]
 //	jadebench -experiment all [-scale small|paper] [-markdown]
 //	jadebench -experiment all -json
 //
@@ -12,6 +12,11 @@
 // observability-instrumented run per app/machine pair are emitted as
 // a single jadebench/v1 JSON document on stdout (see EXPERIMENTS.md
 // for the schema).
+//
+// Independent simulation runs fan out across -parallel workers
+// (default GOMAXPROCS; 1 forces serial execution). The machine models
+// are deterministic and results are assembled in input order, so the
+// output is byte-identical at every width.
 package main
 
 import (
@@ -30,8 +35,15 @@ func main() {
 		scaleStr = flag.String("scale", "small", "workload scale: small or paper")
 		markdown = flag.Bool("markdown", false, "emit markdown tables instead of text")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable jadebench/v1 JSON report")
+		parallel = flag.Int("parallel", 0, "worker pool width for independent runs (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "jadebench: -parallel must be >= 0 (got %d)\n", *parallel)
+		os.Exit(2)
+	}
+	experiments.SetParallelism(*parallel)
 
 	if *list {
 		for _, id := range experiments.IDs() {

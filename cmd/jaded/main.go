@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	jaded [-addr 127.0.0.1:8274] [-workers 2] [-queue 32] [-cache 128] [-job-timeout 2m]
+//	jaded [-addr 127.0.0.1:8274] [-workers 2] [-queue 32] [-cache 128] [-job-timeout 2m] [-parallel 0]
 //
 // Endpoints:
 //
@@ -43,6 +43,7 @@ func main() {
 		queueCap     = flag.Int("queue", 32, "job queue capacity (submissions beyond it get HTTP 429)")
 		cacheEntries = flag.Int("cache", 128, "result cache entries (negative disables caching)")
 		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "per-job execution timeout")
+		parallel     = flag.Int("parallel", 0, "fan-out width for the runs inside one job (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -52,10 +53,11 @@ func main() {
 		os.Exit(1)
 	}
 	srv := serve.New(serve.Config{
-		Workers:      *workers,
-		QueueCap:     *queueCap,
-		CacheEntries: *cacheEntries,
-		JobTimeout:   *jobTimeout,
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		CacheEntries:   *cacheEntries,
+		JobTimeout:     *jobTimeout,
+		RunParallelism: *parallel,
 	})
 	// The exact address goes to stdout so scripts can scrape the
 	// kernel-assigned port when started with :0.

@@ -135,13 +135,13 @@ func serialTable(id string, scale Scale, speed float64) *Result {
 
 // dashExecTable builds Tables 2–5.
 func dashExecTable(id string, a *appSpec, scale Scale) *Result {
+	levels := dashLevels(a)
+	grid := parGrid(len(levels), func(r, _, p int) float64 {
+		return dashRun(a, scale, p, levels[r], false).ExecTime
+	})
 	var rows [][]string
-	for _, level := range dashLevels(a) {
-		vals := make([]float64, len(Procs))
-		for i, p := range Procs {
-			vals[i] = dashRun(a, scale, p, level, false).ExecTime
-		}
-		rows = append(rows, sweepRow(level.String(), vals))
+	for r, level := range levels {
+		rows = append(rows, sweepRow(level.String(), grid[r]))
 	}
 	return &Result{ID: id, Title: registry[id].Title, Head: procHead("level \\ procs"), Rows: rows}
 }
@@ -149,13 +149,13 @@ func dashExecTable(id string, a *appSpec, scale Scale) *Result {
 // ipscExecTable builds Tables 7–10 (baseline: broadcast + replication
 // + concurrent fetch on, latency hiding off).
 func ipscExecTable(id string, a *appSpec, scale Scale) *Result {
+	levels := ipscLevels(a)
+	grid := parGrid(len(levels), func(r, _, p int) float64 {
+		return ipscRun(a, scale, p, levels[r], false, nil).ExecTime
+	})
 	var rows [][]string
-	for _, level := range ipscLevels(a) {
-		vals := make([]float64, len(Procs))
-		for i, p := range Procs {
-			vals[i] = ipscRun(a, scale, p, level, false, nil).ExecTime
-		}
-		rows = append(rows, sweepRow(level.String(), vals))
+	for r, level := range levels {
+		rows = append(rows, sweepRow(level.String(), grid[r]))
 	}
 	return &Result{ID: id, Title: registry[id].Title, Head: procHead("level \\ procs"), Rows: rows}
 }
@@ -167,82 +167,78 @@ func broadcastTable(id string, a *appSpec, scale Scale) *Result {
 	if a.hasPlacement {
 		level = ipsc.TaskPlacement
 	}
+	variants := []bool{true, false}
+	grid := parGrid(len(variants), func(r, _, p int) float64 {
+		ab := variants[r]
+		return ipscRun(a, scale, p, level, false,
+			func(c *ipsc.Config) { c.AdaptiveBroadcast = ab }).ExecTime
+	})
 	var rows [][]string
-	for _, ab := range []bool{true, false} {
+	for r, ab := range variants {
 		label := "Adaptive Broadcast"
 		if !ab {
 			label = "No Adaptive Broadcast"
 		}
-		ab := ab
-		vals := make([]float64, len(Procs))
-		for i, p := range Procs {
-			vals[i] = ipscRun(a, scale, p, level, false,
-				func(c *ipsc.Config) { c.AdaptiveBroadcast = ab }).ExecTime
-		}
-		rows = append(rows, sweepRow(label, vals))
+		rows = append(rows, sweepRow(label, grid[r]))
 	}
 	return &Result{ID: id, Title: registry[id].Title, Head: procHead("variant \\ procs"), Rows: rows}
 }
 
 // dashMetricFigure builds Figures 2–9.
 func dashMetricFigure(id string, a *appSpec, scale Scale, ylabel string, metric rowMetric) *Result {
+	levels := dashLevels(a)
+	grid := parGrid(len(levels), func(r, _, p int) float64 {
+		run := dashRun(a, scale, p, levels[r], false)
+		return metric(&metricsRow{
+			exec: run.ExecTime, taskExec: run.TaskExecTotal,
+			locality: run.LocalityPct(), comm: run.CommCompRatio(),
+		})
+	})
 	var rows [][]string
 	var labels []string
-	var series [][]float64
-	for _, level := range dashLevels(a) {
-		vals := make([]float64, len(Procs))
-		for i, p := range Procs {
-			r := dashRun(a, scale, p, level, false)
-			vals[i] = metric(&metricsRow{
-				exec: r.ExecTime, taskExec: r.TaskExecTotal,
-				locality: r.LocalityPct(), comm: r.CommCompRatio(),
-			})
-		}
+	for r, level := range levels {
 		labels = append(labels, level.String())
-		series = append(series, vals)
-		rows = append(rows, sweepRow(level.String(), vals))
+		rows = append(rows, sweepRow(level.String(), grid[r]))
 	}
 	return &Result{ID: id, Title: registry[id].Title, Head: procHead("level \\ procs"),
-		Rows: rows, Plot: plotOf(registry[id].Title, ylabel, labels, series)}
+		Rows: rows, Plot: plotOf(registry[id].Title, ylabel, labels, grid)}
 }
 
 // ipscMetricFigure builds Figures 12–19.
 func ipscMetricFigure(id string, a *appSpec, scale Scale, ylabel string, metric rowMetric) *Result {
+	levels := ipscLevels(a)
+	grid := parGrid(len(levels), func(r, _, p int) float64 {
+		run := ipscRun(a, scale, p, levels[r], false, nil)
+		return metric(&metricsRow{
+			exec: run.ExecTime, taskExec: run.TaskExecTotal,
+			locality: run.LocalityPct(), comm: run.CommCompRatio(),
+		})
+	})
 	var rows [][]string
 	var labels []string
-	var series [][]float64
-	for _, level := range ipscLevels(a) {
-		vals := make([]float64, len(Procs))
-		for i, p := range Procs {
-			r := ipscRun(a, scale, p, level, false, nil)
-			vals[i] = metric(&metricsRow{
-				exec: r.ExecTime, taskExec: r.TaskExecTotal,
-				locality: r.LocalityPct(), comm: r.CommCompRatio(),
-			})
-		}
+	for r, level := range levels {
 		labels = append(labels, level.String())
-		series = append(series, vals)
-		rows = append(rows, sweepRow(level.String(), vals))
+		rows = append(rows, sweepRow(level.String(), grid[r]))
 	}
 	return &Result{ID: id, Title: registry[id].Title, Head: procHead("level \\ procs"),
-		Rows: rows, Plot: plotOf(registry[id].Title, ylabel, labels, series)}
+		Rows: rows, Plot: plotOf(registry[id].Title, ylabel, labels, grid)}
 }
 
 // mgmtFigure builds Figures 10/11/20/21: the work-free execution time
-// as a percentage of the full run at the Task Placement level.
+// as a percentage of the full run at the Task Placement level. The
+// full and stripped sweeps fan out as one 2 x len(Procs) grid.
 func mgmtFigure(id string, a *appSpec, scale Scale, onDash bool) *Result {
-	vals := make([]float64, len(Procs))
-	for i, p := range Procs {
-		var full, free float64
+	grid := parGrid(2, func(r, _, p int) float64 {
+		workFree := r == 1
 		if onDash {
-			full = dashRun(a, scale, p, dash.TaskPlacement, false).ExecTime
-			free = dashRun(a, scale, p, dash.TaskPlacement, true).ExecTime
-		} else {
-			full = ipscRun(a, scale, p, ipsc.TaskPlacement, false, nil).ExecTime
-			free = ipscRun(a, scale, p, ipsc.TaskPlacement, true, nil).ExecTime
+			return dashRun(a, scale, p, dash.TaskPlacement, workFree).ExecTime
 		}
-		if full > 0 {
-			vals[i] = 100 * free / full
+		return ipscRun(a, scale, p, ipsc.TaskPlacement, workFree, nil).ExecTime
+	})
+	vals := make([]float64, len(Procs))
+	for i := range Procs {
+		if full := grid[0][i]; full > 0 {
+			vals[i] = 100 * grid[1][i] / full
 		}
 	}
 	rows := [][]string{sweepRow("Task Placement", vals)}
@@ -254,13 +250,14 @@ func mgmtFigure(id string, a *appSpec, scale Scale, onDash bool) *Result {
 // copies per application.
 func replicationStudy(scale Scale) *Result {
 	head := []string{"application", "tasks", "object msgs", "replicated reads", "broadcasts"}
-	var rows [][]string
-	for _, a := range allApps {
+	rows := make([][]string, len(allApps))
+	each(len(allApps), func(k int) {
+		a := allApps[k]
 		r := ipscRun(a, scale, 8, ipsc.Locality, false, nil)
-		rows = append(rows, []string{a.name,
+		rows[k] = []string{a.name,
 			fmt.Sprint(r.TaskCount), fmt.Sprint(r.MsgCount),
-			fmt.Sprint(r.ReplicatedReads), fmt.Sprint(r.BroadcastCount)})
-	}
+			fmt.Sprint(r.ReplicatedReads), fmt.Sprint(r.BroadcastCount)}
+	})
 	return &Result{ID: "sec5.1", Title: registry["sec5.1"].Title, Head: head, Rows: rows,
 		Notes: "every application reads at least one object on all processors; " +
 			"without replication those reads would serialize (§5.1)"}
@@ -269,15 +266,15 @@ func replicationStudy(scale Scale) *Result {
 // latencyHidingStudy reproduces §5.4: Panel Cholesky with the target
 // number of tasks per processor set to one (off) and two (on).
 func latencyHidingStudy(scale Scale) *Result {
+	targets := []int{1, 2}
+	grid := parGrid(len(targets), func(r, _, p int) float64 {
+		target := targets[r]
+		return ipscRun(choleskyApp, scale, p, ipsc.Locality, false,
+			func(c *ipsc.Config) { c.TargetTasks = target }).ExecTime
+	})
 	var rows [][]string
-	for _, target := range []int{1, 2} {
-		target := target
-		vals := make([]float64, len(Procs))
-		for i, p := range Procs {
-			vals[i] = ipscRun(choleskyApp, scale, p, ipsc.Locality, false,
-				func(c *ipsc.Config) { c.TargetTasks = target }).ExecTime
-		}
-		rows = append(rows, sweepRow(fmt.Sprintf("target tasks = %d", target), vals))
+	for r, target := range targets {
+		rows = append(rows, sweepRow(fmt.Sprintf("target tasks = %d", target), grid[r]))
 	}
 	return &Result{ID: "sec5.4", Title: registry["sec5.4"].Title,
 		Head: procHead("variant \\ procs"), Rows: rows,
@@ -288,16 +285,17 @@ func latencyHidingStudy(scale Scale) *Result {
 // task latency at the highest locality optimization level.
 func concurrentFetchStudy(scale Scale) *Result {
 	head := []string{"application", "object msgs", "object/task latency ratio"}
-	var rows [][]string
-	for _, a := range allApps {
+	rows := make([][]string, len(allApps))
+	each(len(allApps), func(k int) {
+		a := allApps[k]
 		level := ipsc.Locality
 		if a.hasPlacement {
 			level = ipsc.TaskPlacement
 		}
 		r := ipscRun(a, scale, 8, level, false, nil)
-		rows = append(rows, []string{a.name, fmt.Sprint(r.MsgCount),
-			table.Cell(r.ObjectToTaskLatencyRatio())})
-	}
+		rows[k] = []string{a.name, fmt.Sprint(r.MsgCount),
+			table.Cell(r.ObjectToTaskLatencyRatio())}
+	})
 	return &Result{ID: "sec5.5", Title: registry["sec5.5"].Title, Head: head, Rows: rows,
 		Notes: "a ratio near one means almost all tasks fetch at most one remote object " +
 			"per communication point, so there is nothing to parallelize (§5.5)"}
@@ -307,8 +305,9 @@ func concurrentFetchStudy(scale Scale) *Result {
 // supernode-aligned panels for Panel Cholesky on the iPSC model.
 func panelsAblation(scale Scale) *Result {
 	head := []string{"partitioning", "panels", "tasks", "exec 8p (s)", "exec 32p (s)"}
-	var rows [][]string
-	for _, super := range []bool{false, true} {
+	rows := make([][]string, 2)
+	each(2, func(v int) {
+		super := v == 1
 		label := "fixed width (paper)"
 		if super {
 			label = "supernode-aligned"
@@ -322,10 +321,10 @@ func panelsAblation(scale Scale) *Result {
 			cholesky.Run(rt, cfg, w)
 			return rt.Finish().ExecTime
 		}
-		rows = append(rows, []string{label,
+		rows[v] = []string{label,
 			fmt.Sprint(w.Sym.NumPanels()), fmt.Sprint(cholesky.TaskCount(w)),
-			table.Cell(run(8)), table.Cell(run(32))})
-	}
+			table.Cell(run(8)), table.Cell(run(32))}
+	})
 	return &Result{ID: "ablation-panels", Title: registry["ablation-panels"].Title,
 		Head: head, Rows: rows}
 }
@@ -340,8 +339,14 @@ func utilizationStudy(scale Scale) *Result {
 		head = append(head, fmt.Sprintf("p%d", i))
 	}
 	var rows [][]string
-	d := dashRun(oceanApp, scale, 8, dash.TaskPlacement, false)
-	i := ipscRun(oceanApp, scale, 8, ipsc.TaskPlacement, false, nil)
+	var d, i *metrics.Run
+	each(2, func(k int) {
+		if k == 0 {
+			d = dashRun(oceanApp, scale, 8, dash.TaskPlacement, false)
+		} else {
+			i = ipscRun(oceanApp, scale, 8, ipsc.TaskPlacement, false, nil)
+		}
+	})
 	for _, v := range []struct {
 		name string
 		u    []float64
@@ -364,14 +369,26 @@ func utilizationStudy(scale Scale) *Result {
 // speed-aware scheduling.
 func portabilityStudy(scale Scale) *Result {
 	head := []string{"application", "DASH (s)", "iPSC/860 (s)", "cluster (s)", "cluster speed-aware (s)"}
+	// One fan-out over the full app x platform grid (4 x 4 cells).
+	cells := make([][4]float64, len(allApps))
+	each(len(allApps)*4, func(k int) {
+		a, v := allApps[k/4], k%4
+		switch v {
+		case 0:
+			cells[k/4][v] = dashRun(a, scale, 8, dash.Locality, false).ExecTime
+		case 1:
+			cells[k/4][v] = ipscRun(a, scale, 8, ipsc.Locality, false, nil).ExecTime
+		case 2:
+			cells[k/4][v] = clusterRun(a, scale, 8, false).ExecTime
+		case 3:
+			cells[k/4][v] = clusterRun(a, scale, 8, true).ExecTime
+		}
+	})
 	var rows [][]string
-	for _, a := range allApps {
-		dashT := dashRun(a, scale, 8, dash.Locality, false).ExecTime
-		ipscT := ipscRun(a, scale, 8, ipsc.Locality, false, nil).ExecTime
-		clusterT := clusterRun(a, scale, 8, false).ExecTime
-		awareT := clusterRun(a, scale, 8, true).ExecTime
+	for i, a := range allApps {
 		rows = append(rows, []string{a.name,
-			table.Cell(dashT), table.Cell(ipscT), table.Cell(clusterT), table.Cell(awareT)})
+			table.Cell(cells[i][0]), table.Cell(cells[i][1]),
+			table.Cell(cells[i][2]), table.Cell(cells[i][3])})
 	}
 	return &Result{ID: "extension-portability", Title: registry["extension-portability"].Title,
 		Head: head, Rows: rows,
@@ -389,17 +406,17 @@ func stealAblation(scale Scale) *Result {
 		choleskyApp.run(rt, scale, false)
 		return rt.Finish().ExecTime
 	}
+	variants := []bool{false, true}
+	grid := parGrid(len(variants), func(r, _, p int) float64 {
+		return run(variants[r], p)
+	})
 	var rows [][]string
-	for _, fromHead := range []bool{false, true} {
+	for r, fromHead := range variants {
 		label := "steal last of last OTQ (paper)"
 		if fromHead {
 			label = "steal first of first OTQ"
 		}
-		vals := make([]float64, len(Procs))
-		for i, p := range Procs {
-			vals[i] = run(fromHead, p)
-		}
-		rows = append(rows, sweepRow(label, vals))
+		rows = append(rows, sweepRow(label, grid[r]))
 	}
 	return &Result{ID: "ablation-steal", Title: registry["ablation-steal"].Title,
 		Head: procHead("variant \\ procs"), Rows: rows}
@@ -415,15 +432,21 @@ func localityPolicyAblation(scale Scale) *Result {
 		{"largest declared object", 1},
 		{"first written object", 2},
 	}
+	runs := make([][]*metrics.Run, len(policies))
+	for r := range runs {
+		runs[r] = make([]*metrics.Run, len(Procs))
+	}
+	each(len(policies)*len(Procs), func(k int) {
+		r, i := k/len(Procs), k%len(Procs)
+		runs[r][i] = ipscRunWithPolicy(choleskyApp, scale, Procs[i], policies[r].policy)
+	})
 	var rows [][]string
-	for _, pol := range policies {
-		pol := pol
+	for r, pol := range policies {
 		vals := make([]float64, len(Procs))
 		locs := make([]float64, len(Procs))
-		for i, p := range Procs {
-			r := ipscRunWithPolicy(choleskyApp, scale, p, pol.policy)
-			vals[i] = r.ExecTime
-			locs[i] = r.LocalityPct()
+		for i := range Procs {
+			vals[i] = runs[r][i].ExecTime
+			locs[i] = runs[r][i].LocalityPct()
 		}
 		rows = append(rows, sweepRow(pol.label+" [time]", vals))
 		rows = append(rows, sweepRow(pol.label+" [loc%]", locs))
@@ -437,8 +460,9 @@ func localityPolicyAblation(scale Scale) *Result {
 // Locality level on the iPSC model.
 func orderingAblation(scale Scale) *Result {
 	head := []string{"ordering", "nnz(L)", "modeled serial s", "exec 8p (s)", "exec 32p (s)"}
-	var rows [][]string
-	for _, rcm := range []bool{false, true} {
+	rows := make([][]string, 2)
+	each(2, func(v int) {
+		rcm := v == 1
 		label := "natural (default)"
 		if rcm {
 			label = "reverse Cuthill-McKee"
@@ -452,11 +476,11 @@ func orderingAblation(scale Scale) *Result {
 			cholesky.Run(rt, cfg, w)
 			return rt.Finish().ExecTime
 		}
-		rows = append(rows, []string{label,
+		rows[v] = []string{label,
 			fmt.Sprint(w.Sym.NNZL()),
 			table.Cell(cholesky.SerialWorkSec(cfg, w)),
-			table.Cell(run(8)), table.Cell(run(32))})
-	}
+			table.Cell(run(8)), table.Cell(run(32))}
+	})
 	return &Result{ID: "ablation-ordering", Title: registry["ablation-ordering"].Title,
 		Head: head, Rows: rows,
 		Notes: "the paper's BCSSTK15 runs use a pre-ordered matrix; ordering changes the " +
@@ -467,20 +491,21 @@ func orderingAblation(scale Scale) *Result {
 // demand fetching with adaptive broadcast disabled, per application.
 func updateExtension(scale Scale) *Result {
 	head := []string{"application", "demand 16p (s)", "update 16p (s)", "demand MB", "update MB"}
-	var rows [][]string
-	for _, a := range allApps {
+	runs := make([][2]*metrics.Run, len(allApps))
+	each(len(allApps)*2, func(k int) {
+		a, update := allApps[k/2], k%2 == 1
 		level := ipsc.Locality
 		if a.hasPlacement {
 			level = ipsc.TaskPlacement
 		}
-		run := func(update bool) *metrics.Run {
-			return ipscRun(a, scale, 16, level, false, func(c *ipsc.Config) {
-				c.AdaptiveBroadcast = false
-				c.EagerUpdate = update
-			})
-		}
-		demand := run(false)
-		upd := run(true)
+		runs[k/2][k%2] = ipscRun(a, scale, 16, level, false, func(c *ipsc.Config) {
+			c.AdaptiveBroadcast = false
+			c.EagerUpdate = update
+		})
+	})
+	var rows [][]string
+	for i, a := range allApps {
+		demand, upd := runs[i][0], runs[i][1]
 		rows = append(rows, []string{a.name,
 			table.Cell(demand.ExecTime), table.Cell(upd.ExecTime),
 			table.Cell(float64(demand.MsgBytes) / 1e6), table.Cell(float64(upd.MsgBytes) / 1e6)})
@@ -494,25 +519,32 @@ func updateExtension(scale Scale) *Result {
 // stickyAblation evaluates the §5.6 suggestion of a scheduler less
 // eager to move tasks off their target processor.
 func stickyAblation(scale Scale) *Result {
+	apps := []*appSpec{oceanApp, choleskyApp}
+	runs := make([][]*metrics.Run, 4) // (app, sticky) pairs in row order
+	for r := range runs {
+		runs[r] = make([]*metrics.Run, len(Procs))
+	}
+	each(4*len(Procs), func(k int) {
+		r, i := k/len(Procs), k%len(Procs)
+		a, sticky := apps[r/2], r%2 == 1
+		runs[r][i] = ipscRun(a, scale, Procs[i], ipsc.Locality, false,
+			func(c *ipsc.Config) { c.StickyTarget = sticky })
+	})
 	var rows [][]string
-	for _, a := range []*appSpec{oceanApp, choleskyApp} {
-		for _, sticky := range []bool{false, true} {
-			sticky := sticky
-			label := a.name + " eager (paper)"
-			if sticky {
-				label = a.name + " sticky target"
-			}
-			vals := make([]float64, len(Procs))
-			locs := make([]float64, len(Procs))
-			for i, p := range Procs {
-				r := ipscRun(a, scale, p, ipsc.Locality, false,
-					func(c *ipsc.Config) { c.StickyTarget = sticky })
-				vals[i] = r.ExecTime
-				locs[i] = r.LocalityPct()
-			}
-			rows = append(rows, sweepRow(label+" [time]", vals))
-			rows = append(rows, sweepRow(label+" [loc%]", locs))
+	for r := range runs {
+		a, sticky := apps[r/2], r%2 == 1
+		label := a.name + " eager (paper)"
+		if sticky {
+			label = a.name + " sticky target"
 		}
+		vals := make([]float64, len(Procs))
+		locs := make([]float64, len(Procs))
+		for i := range Procs {
+			vals[i] = runs[r][i].ExecTime
+			locs[i] = runs[r][i].LocalityPct()
+		}
+		rows = append(rows, sweepRow(label+" [time]", vals))
+		rows = append(rows, sweepRow(label+" [loc%]", locs))
 	}
 	return &Result{ID: "ablation-sticky", Title: registry["ablation-sticky"].Title,
 		Head: procHead("variant \\ procs"), Rows: rows}

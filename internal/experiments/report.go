@@ -58,29 +58,44 @@ func BuildReport(ids []string, scale Scale) (*BenchReport, error) {
 // entry point the jaded job service drives: every part of the request
 // is serializable data, and on the deterministic machine models the
 // same inputs always produce a byte-identical document.
+//
+// Experiments and runs fan out together across the package worker
+// pool (see SetParallelism); results land in pre-indexed slots, so
+// the document bytes are identical to serial execution, and the first
+// error by input position — not completion order — wins.
 func BuildReportWithRuns(ids []string, specs []RunSpec, scale Scale) (*BenchReport, error) {
 	rep := &BenchReport{
 		Schema:      BenchSchema,
 		Scale:       string(scale),
-		Experiments: []ResultJSON{},
-		Runs:        []InstrumentedRun{},
+		Experiments: make([]ResultJSON, len(ids)),
+		Runs:        make([]InstrumentedRun, len(specs)),
 	}
-	for _, id := range ids {
-		res, err := Run(id, scale)
+	errs := make([]error, len(ids)+len(specs))
+	each(len(ids)+len(specs), func(k int) {
+		if k < len(ids) {
+			res, err := Run(ids[k], scale)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			rep.Experiments[k] = ResultJSON{
+				ID: res.ID, Title: res.Title, Head: res.Head,
+				Rows: res.Rows, Notes: res.Notes,
+			}
+			return
+		}
+		i := k - len(ids)
+		ir, err := specs[i].Instrumented(scale)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		rep.Runs[i] = ir
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		rep.Experiments = append(rep.Experiments, ResultJSON{
-			ID: res.ID, Title: res.Title, Head: res.Head,
-			Rows: res.Rows, Notes: res.Notes,
-		})
-	}
-	for _, spec := range specs {
-		ir, err := spec.Instrumented(scale)
-		if err != nil {
-			return nil, err
-		}
-		rep.Runs = append(rep.Runs, ir)
 	}
 	return rep, nil
 }

@@ -75,10 +75,14 @@ type Metrics struct {
 	JobsCompleted     int64   `json:"jobs_completed"`
 	JobsFailed        int64   `json:"jobs_failed"`
 	JobsRejected      int64   `json:"jobs_rejected"`
-	CacheEntries      int     `json:"cache_entries"`
-	CacheHits         uint64  `json:"cache_hits"`
-	CacheMisses       uint64  `json:"cache_misses"`
-	CacheHitRate      float64 `json:"cache_hit_rate"`
+	// JobsDeduped counts jobs finished by singleflight: identical to
+	// a job already executing, so they shared its result instead of
+	// running again.
+	JobsDeduped  int64   `json:"jobs_deduped"`
+	CacheEntries int     `json:"cache_entries"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
 	// ExperimentLatency reports wall-clock job execution latency
 	// (seconds) per experiment ID, plus the "_job" aggregate over all
 	// executed jobs. Cache hits are excluded — they measure the

@@ -7,6 +7,12 @@
 // run would produce — the service amortizes the paper's experiment
 // sweeps across requests instead of rebuilding them per invocation.
 //
+// Two further layers cut duplicate and serial work: jobs identical to
+// one already executing are single-flighted onto it (one simulation,
+// shared result), and the independent runs inside a single job fan
+// out across the experiment engine's worker pool (Config.
+// RunParallelism), so one large job can use the whole machine.
+//
 // API surface:
 //
 //	POST /v1/jobs            submit a job; ?sync=1 blocks (small scale only)
@@ -42,6 +48,11 @@ type Config struct {
 	// JobTimeout fails a job still executing after this long
 	// (default 2m).
 	JobTimeout time.Duration
+	// RunParallelism sets the experiment engine's fan-out width for
+	// the independent simulation runs inside a single job, so one job
+	// can use the whole machine. 0 keeps the engine default
+	// (GOMAXPROCS); 1 forces serial execution.
+	RunParallelism int
 }
 
 func (c *Config) fillDefaults() {
@@ -71,6 +82,11 @@ type Job struct {
 	result   json.RawMessage
 	errMsg   string
 	done     chan struct{}
+
+	// followers are identical jobs (same canonical hash) that arrived
+	// while this one was executing; singleflight finishes them with
+	// this job's result instead of re-running the simulation.
+	followers []*Job
 }
 
 // Server is the jaded HTTP handler plus its worker pool. Create with
@@ -89,6 +105,7 @@ type Server struct {
 
 	mu        sync.Mutex
 	jobs      map[string]*Job
+	inflight  map[string]*Job // singleflight: hash -> executing job
 	seq       int
 	busy      int
 	shutdown  bool
@@ -96,6 +113,7 @@ type Server struct {
 	completed int64
 	failed    int64
 	rejected  int64
+	deduped   int64
 	latency   map[string]*obsv.Histogram
 }
 
@@ -108,14 +126,18 @@ func New(cfg Config) *Server {
 // controllable ones.
 func newServer(cfg Config, runFn func(*JobSpec) ([]byte, error)) *Server {
 	cfg.fillDefaults()
+	if cfg.RunParallelism > 0 {
+		experiments.SetParallelism(cfg.RunParallelism)
+	}
 	s := &Server{
-		cfg:     cfg,
-		queue:   NewQueue[*Job](cfg.QueueCap),
-		cache:   NewCache(cfg.CacheEntries),
-		start:   time.Now(),
-		runFn:   runFn,
-		jobs:    make(map[string]*Job),
-		latency: make(map[string]*obsv.Histogram),
+		cfg:      cfg,
+		queue:    NewQueue[*Job](cfg.QueueCap),
+		cache:    NewCache(cfg.CacheEntries),
+		start:    time.Now(),
+		runFn:    runFn,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		latency:  make(map[string]*obsv.Histogram),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -185,7 +207,12 @@ func (s *Server) worker() {
 	}
 }
 
-// execute runs one job with the per-job timeout applied.
+// execute runs one job with the per-job timeout applied. Identical
+// jobs are single-flighted on the canonical spec hash: if the same
+// hash is already executing, this job registers as a follower and the
+// worker moves on — the leader's completion finishes every follower
+// with the shared result, so N concurrent identical submissions cost
+// one simulation.
 func (s *Server) execute(j *Job) {
 	// An identical job may have finished while this one queued.
 	if data, ok := s.cache.Peek(j.Hash); ok {
@@ -193,6 +220,13 @@ func (s *Server) execute(j *Job) {
 		return
 	}
 	s.mu.Lock()
+	if leader, ok := s.inflight[j.Hash]; ok {
+		leader.followers = append(leader.followers, j)
+		s.deduped++
+		s.mu.Unlock()
+		return
+	}
+	s.inflight[j.Hash] = j
 	j.status = StatusRunning
 	s.busy++
 	s.mu.Unlock()
@@ -226,9 +260,19 @@ func (s *Server) execute(j *Job) {
 		s.observe(j, time.Since(started).Seconds())
 	}
 	s.mu.Lock()
+	delete(s.inflight, j.Hash)
+	followers := j.followers
+	j.followers = nil
 	s.busy--
 	s.mu.Unlock()
 	s.finish(j, data, false, err)
+	for _, f := range followers {
+		if err != nil {
+			s.finish(f, nil, false, fmt.Errorf("deduplicated onto an identical job that failed: %w", err))
+		} else {
+			s.finish(f, data, true, nil)
+		}
+	}
 }
 
 // finish moves a job to its terminal state and wakes waiters.
@@ -423,6 +467,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		JobsCompleted:     s.completed,
 		JobsFailed:        s.failed,
 		JobsRejected:      s.rejected,
+		JobsDeduped:       s.deduped,
 		CacheEntries:      s.cache.Len(),
 		CacheHits:         hits,
 		CacheMisses:       misses,

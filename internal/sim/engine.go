@@ -6,43 +6,61 @@
 // Determinism: events at equal times fire in the order they were
 // scheduled (FIFO tie-breaking by sequence number), so a simulation run
 // is exactly reproducible.
+//
+// The engine is the hottest path in the repository — every simulated
+// machine cycle passes through it — so the implementation avoids the
+// standard library's container/heap (whose interface{} methods box
+// every event on push and pop) in favor of two value-typed structures:
+//
+//   - a 4-ary min-heap of event values ordered by (time, seq). The
+//     wider fan-out halves the tree depth versus a binary heap and the
+//     direct field comparisons need no interface dispatch;
+//   - a same-time FIFO bucket (a circular ring) holding events that
+//     share one timestamp. Cascades — each event scheduling the next
+//     with After(d, ...), the dominant machine-model pattern — land in
+//     the ring and never touch the heap at all.
+//
+// Both structures store events by value and recycle their slots in
+// place, so the steady-state schedule/fire cycle performs zero heap
+// allocations: the ring's backing array doubles as the free list for
+// event structs.
 package sim
-
-import "container/heap"
 
 // Time is virtual time in seconds.
 type Time float64
 
-// Event is a scheduled callback.
+// event is a scheduled callback. Events are ordered by (at, seq):
+// earlier times first, and FIFO among equal times.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (at, seq).
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable;
 // call New.
 type Engine struct {
-	pq  eventHeap
+	// heap is a 4-ary min-heap on (at, seq). Children of node i live
+	// at 4i+1..4i+4.
+	heap []event
+
+	// ring is the same-time FIFO bucket: a power-of-two circular
+	// buffer whose live entries all share the timestamp bucketAt and
+	// are stored in scheduling (seq) order. The buffer's slots are
+	// recycled in place, acting as the event free list.
+	ring     []event
+	head     int
+	ringLen  int
+	bucketAt Time
+
 	now Time
 	seq uint64
 }
@@ -55,12 +73,27 @@ func (e *Engine) Now() Time { return e.now }
 
 // At schedules fn to run at virtual time t. Scheduling in the past
 // (t < Now) panics: it indicates a bug in a machine model.
+//
+// Fast path: when the bucket is empty the event seeds it, and when t
+// matches the bucket's timestamp the event joins it — either way the
+// heap is untouched. Only an event at a time different from a
+// non-empty bucket's falls through to a heap push.
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+	ev := event{at: t, seq: e.seq, fn: fn}
+	if e.ringLen == 0 {
+		e.bucketAt = t
+		e.ringPush(ev)
+		return
+	}
+	if t == e.bucketAt {
+		e.ringPush(ev)
+		return
+	}
+	e.heapPush(ev)
 }
 
 // After schedules fn to run d seconds after the current time.
@@ -68,9 +101,22 @@ func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
 // Run processes events until the queue is empty and returns the final
 // virtual time.
+//
+// Correctness of the two-structure pop: the bucket holds events in seq
+// order (it is FIFO and only ever appended to), so its head carries
+// the bucket's minimal (at, seq). Any event in the heap that shares
+// the bucket's timestamp was necessarily scheduled before the bucket
+// formed at that time (later same-time arrivals join the bucket), so
+// comparing the bucket head against the heap root by (at, seq) always
+// selects the globally next event.
 func (e *Engine) Run() Time {
-	for len(e.pq) > 0 {
-		ev := heap.Pop(&e.pq).(event)
+	for e.ringLen > 0 || len(e.heap) > 0 {
+		var ev event
+		if e.ringLen > 0 && (len(e.heap) == 0 || eventLess(e.ring[e.head], e.heap[0])) {
+			ev = e.ringPop()
+		} else {
+			ev = e.heapPop()
+		}
 		e.now = ev.at
 		ev.fn()
 	}
@@ -78,4 +124,87 @@ func (e *Engine) Run() Time {
 }
 
 // Pending reports the number of events still queued.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return len(e.heap) + e.ringLen }
+
+// ---- same-time FIFO bucket ----
+
+func (e *Engine) ringPush(ev event) {
+	if e.ringLen == len(e.ring) {
+		e.growRing()
+	}
+	e.ring[(e.head+e.ringLen)&(len(e.ring)-1)] = ev
+	e.ringLen++
+}
+
+func (e *Engine) ringPop() event {
+	ev := e.ring[e.head]
+	e.ring[e.head] = event{} // drop the fn reference for the GC
+	e.head = (e.head + 1) & (len(e.ring) - 1)
+	e.ringLen--
+	return ev
+}
+
+// growRing doubles the ring, re-linearizing live entries at the front.
+func (e *Engine) growRing() {
+	old := e.ring
+	if len(old) == 0 {
+		e.ring = make([]event, 8)
+		e.head = 0
+		return
+	}
+	grown := make([]event, 2*len(old))
+	for i := 0; i < e.ringLen; i++ {
+		grown[i] = old[(e.head+i)&(len(old)-1)]
+	}
+	e.ring = grown
+	e.head = 0
+}
+
+// ---- value-typed 4-ary min-heap ----
+
+func (e *Engine) heapPush(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.heap = h
+}
+
+func (e *Engine) heapPop() event {
+	h := e.heap
+	min := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop the fn reference for the GC
+	h = h[:n]
+	e.heap = h
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !eventLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return min
+}

@@ -1,0 +1,206 @@
+// Command benchjson turns `go test -bench` text output into a
+// jade-bench/v1 JSON document and optionally gates it against a
+// checked-in baseline, so every revision can record a performance
+// trajectory and CI can fail on regressions.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... |
+//	    benchjson -commit abc1234 -o BENCH_abc1234.json \
+//	              -baseline BENCH_baseline.json -tolerance 0.20
+//
+// With -baseline, every benchmark present in both documents is
+// compared by ns/op; any new value more than tolerance above the
+// baseline is a regression and the exit status is 1 (after the output
+// file is still written, so the failing numbers are inspectable).
+// See EXPERIMENTS.md for the jade-bench/v1 schema.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the benchmark report layout. Additions keep the
+// version; renames or removals bump it.
+const Schema = "jade-bench/v1"
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	// Name is the benchmark name with the Benchmark prefix and any
+	// -N GOMAXPROCS suffix stripped: "EngineCascade", not
+	// "BenchmarkEngineCascade-8".
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the jade-bench/v1 document.
+type Report struct {
+	Schema     string      `json:"schema"`
+	Commit     string      `json:"commit,omitempty"`
+	Go         string      `json:"go,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		commit    = flag.String("commit", "", "commit hash recorded in the document")
+		out       = flag.String("o", "", "output file (default stdout)")
+		baseline  = flag.String("baseline", "", "baseline jade-bench/v1 file to compare against")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression vs the baseline")
+	)
+	flag.Parse()
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	rep.Commit = *commit
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *baseline != "" {
+		regressions, err := compare(*baseline, rep, *tolerance)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% vs %s:\n",
+				len(regressions), *tolerance*100, *baseline)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+	}
+}
+
+// parse reads `go test -bench` output. Benchmark lines look like:
+//
+//	BenchmarkEngineCascade-8   1000000   10.81 ns/op   0 B/op   0 allocs/op
+//
+// interleaved with goos/goarch/cpu/pkg headers and PASS/ok trailers.
+func parse(r interface{ Read([]byte) (int, error) }) (*Report, error) {
+	rep := &Report{Schema: Schema}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "go:"):
+			rep.Go = strings.TrimSpace(strings.TrimPrefix(line, "go:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %v", line, err)
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
+		}
+		b := Benchmark{Name: name, Package: pkg, Iterations: iters, NsPerOp: ns}
+		for i := 4; i+1 < len(fields); i += 2 {
+			switch fields[i+1] {
+			case "B/op":
+				b.BytesPerOp, _ = strconv.ParseFloat(fields[i], 64)
+			case "allocs/op":
+				b.AllocsPerOp, _ = strconv.ParseInt(fields[i], 10, 64)
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// compare returns a description of every benchmark in the baseline
+// whose current ns/op exceeds baseline*(1+tolerance). Benchmarks that
+// exist on only one side are skipped: additions and removals are not
+// regressions.
+func compare(baselinePath string, cur *Report, tolerance float64) ([]string, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("%s: %v", baselinePath, err)
+	}
+	if base.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", baselinePath, base.Schema, Schema)
+	}
+	baseNs := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseNs[key(b)] = b.NsPerOp
+	}
+	var regressions []string
+	for _, b := range cur.Benchmarks {
+		old, ok := baseNs[key(b)]
+		if !ok || old <= 0 {
+			continue
+		}
+		if b.NsPerOp > old*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%)",
+				key(b), b.NsPerOp, old, 100*(b.NsPerOp/old-1)))
+		}
+	}
+	return regressions, nil
+}
+
+// key identifies a benchmark across documents.
+func key(b Benchmark) string {
+	if b.Package != "" {
+		return b.Package + "." + b.Name
+	}
+	return b.Name
+}

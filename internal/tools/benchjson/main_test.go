@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngineEvents      	    1540	    815381 ns/op	  357544 B/op	      19 allocs/op
+BenchmarkEngineCascade-8   	100000000	        10.81 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/sim	5.361s
+pkg: repro
+BenchmarkTable2 	      50	  22511927 ns/op
+ok  	repro	1.2s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.CPU == "" {
+		t.Fatal("cpu header not captured")
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	cascade := rep.Benchmarks[1]
+	if cascade.Name != "EngineCascade" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", cascade.Name)
+	}
+	if cascade.Package != "repro/internal/sim" || cascade.NsPerOp != 10.81 || cascade.AllocsPerOp != 0 {
+		t.Fatalf("cascade = %+v", cascade)
+	}
+	table2 := rep.Benchmarks[2]
+	if table2.Package != "repro" || table2.NsPerOp != 22511927 || table2.Iterations != 50 {
+		t.Fatalf("table2 = %+v", table2)
+	}
+}
+
+func writeBaseline(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	baseline := writeBaseline(t, `{
+	  "schema": "jade-bench/v1",
+	  "benchmarks": [
+	    {"name": "EngineCascade", "package": "repro/internal/sim", "iterations": 1, "ns_per_op": 100},
+	    {"name": "Table2", "package": "repro", "iterations": 1, "ns_per_op": 1000},
+	    {"name": "Removed", "package": "repro", "iterations": 1, "ns_per_op": 5}
+	  ]
+	}`)
+	cur := &Report{Schema: Schema, Benchmarks: []Benchmark{
+		{Name: "EngineCascade", Package: "repro/internal/sim", NsPerOp: 115}, // +15%: inside tolerance
+		{Name: "Table2", Package: "repro", NsPerOp: 1500},                    // +50%: regression
+		{Name: "Added", Package: "repro", NsPerOp: 999999},                   // no baseline: skipped
+	}}
+	regressions, err := compare(baseline, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "repro.Table2") {
+		t.Fatalf("regressions = %v, want only repro.Table2", regressions)
+	}
+	regressions, err = compare(baseline, cur, 0.60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("at 60%% tolerance regressions = %v, want none", regressions)
+	}
+}
+
+func TestCompareRejectsBadBaseline(t *testing.T) {
+	if _, err := compare(writeBaseline(t, `{"schema":"other/v9"}`), &Report{Schema: Schema}, 0.2); err == nil {
+		t.Fatal("wrong-schema baseline accepted")
+	}
+	if _, err := compare(filepath.Join(t.TempDir(), "missing.json"), &Report{Schema: Schema}, 0.2); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}
