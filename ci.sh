@@ -50,9 +50,10 @@ go test ./...
 
 echo "== go test -race (concurrent packages) =="
 # The packages with real goroutine concurrency: the native machine,
-# the runtime that drives it, the jaded server/queue/cache, and the
-# parallel experiment fan-out.
-go test -race ./internal/native ./internal/jade ./internal/serve ./internal/experiments
+# the runtime that drives it, the jaded server/queue/cache (including
+# the retry/breaker paths), the parallel experiment fan-out, and the
+# fault injector shared by concurrent runs.
+go test -race ./internal/native ./internal/jade ./internal/serve ./internal/experiments ./internal/fault
 
 echo "== jadebench -json smoke =="
 # The emitted document must parse and carry the jadebench/v1 keys;
@@ -102,5 +103,19 @@ grep -q '"cache_hit": true' "$tmp/second.json" ||
 
 curl -fsS "http://$addr/metricz" |
     "$tmp/jsoncheck" schema cache_hits queue_depth experiment_latency_sec.table4
+
+echo "== jaded chaos smoke =="
+# A job whose spec injects a panic must fail cleanly (panic isolation)
+# while the server stays healthy and keeps serving subsequent jobs.
+chaos='{"schema":"jade-job/v1","runs":[{"app":"water","machine":"ipsc","fault":{"seed":1,"panic":true}}],"scale":"small"}'
+curl -sS -X POST -d "$chaos" "http://$addr/v1/jobs?sync=1" >"$tmp/chaos.json"
+grep -q '"status": "failed"' "$tmp/chaos.json" ||
+    { echo "jaded: injected panic did not fail the job" >&2; cat "$tmp/chaos.json" >&2; exit 1; }
+grep -q 'panicked' "$tmp/chaos.json" ||
+    { echo "jaded: failed job does not report the panic" >&2; cat "$tmp/chaos.json" >&2; exit 1; }
+curl -fsS "http://$addr/healthz" | "$tmp/jsoncheck" status uptime_sec
+curl -fsS -X POST -d "$spec" "http://$addr/v1/jobs?sync=1" >"$tmp/postchaos.json"
+grep -q '"status": "done"' "$tmp/postchaos.json" ||
+    { echo "jaded: server unhealthy after injected panic" >&2; cat "$tmp/postchaos.json" >&2; exit 1; }
 
 echo "CI OK"

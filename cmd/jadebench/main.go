@@ -17,6 +17,11 @@
 // (default GOMAXPROCS; 1 forces serial execution). The machine models
 // are deterministic and results are assembled in input order, so the
 // output is byte-identical at every width.
+//
+// With -fault (e.g. -fault seed=7,drop=0.05,straggle=2), the
+// instrumented runs in the JSON report execute under deterministic
+// fault injection (jade-fault/v1): the same seed always reproduces the
+// same faulted execution, byte for byte. Requires -json.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 )
 
 func main() {
@@ -36,6 +42,8 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit markdown tables instead of text")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable jadebench/v1 JSON report")
 		parallel = flag.Int("parallel", 0, "worker pool width for independent runs (0 = GOMAXPROCS, 1 = serial)")
+		faultStr = flag.String("fault", "", "inject deterministic faults into the instrumented runs: "+
+			"comma-separated key=value (seed=N, drop=P, dup=P, linkpct=P, straggle=K, victims=K, invalidate=P); requires -json")
 	)
 	flag.Parse()
 
@@ -67,8 +75,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
 		os.Exit(2)
 	}
+	fspec, err := fault.ParseFlag(*faultStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
+		os.Exit(2)
+	}
+	if fspec != nil && !*jsonOut {
+		fmt.Fprintln(os.Stderr, "jadebench: -fault applies to the instrumented runs of the JSON report; add -json")
+		os.Exit(2)
+	}
 	if *jsonOut {
-		rep, err := experiments.BuildReport(ids, scale)
+		runs := experiments.DefaultRunSpecs()
+		for i := range runs {
+			runs[i].Fault = fspec
+		}
+		rep, err := experiments.BuildReportWithRuns(ids, runs, scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
 			os.Exit(2)

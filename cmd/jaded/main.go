@@ -7,6 +7,7 @@
 // Usage:
 //
 //	jaded [-addr 127.0.0.1:8274] [-workers 2] [-queue 32] [-cache 128] [-job-timeout 2m] [-parallel 0]
+//	      [-retries 2] [-retry-backoff 50ms] [-breaker-threshold 5] [-breaker-cooldown 30s]
 //
 // Endpoints:
 //
@@ -42,8 +43,12 @@ func main() {
 		workers      = flag.Int("workers", 2, "concurrent experiment workers")
 		queueCap     = flag.Int("queue", 32, "job queue capacity (submissions beyond it get HTTP 429)")
 		cacheEntries = flag.Int("cache", 128, "result cache entries (negative disables caching)")
-		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "per-job execution timeout")
+		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "per-job deadline covering queue wait plus execution")
 		parallel     = flag.Int("parallel", 0, "fan-out width for the runs inside one job (0 = GOMAXPROCS, 1 = serial)")
+		retries      = flag.Int("retries", 2, "max retries of transiently-failing jobs (negative disables)")
+		retryBackoff = flag.Duration("retry-backoff", 50*time.Millisecond, "delay before the first retry, doubling each time")
+		brkThreshold = flag.Int("breaker-threshold", 5, "consecutive failures that trip an experiment's circuit breaker (negative disables)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped circuit refuses submissions before a half-open probe")
 	)
 	flag.Parse()
 
@@ -53,11 +58,15 @@ func main() {
 		os.Exit(1)
 	}
 	srv := serve.New(serve.Config{
-		Workers:        *workers,
-		QueueCap:       *queueCap,
-		CacheEntries:   *cacheEntries,
-		JobTimeout:     *jobTimeout,
-		RunParallelism: *parallel,
+		Workers:          *workers,
+		QueueCap:         *queueCap,
+		CacheEntries:     *cacheEntries,
+		JobTimeout:       *jobTimeout,
+		RunParallelism:   *parallel,
+		MaxRetries:       *retries,
+		RetryBackoff:     *retryBackoff,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
 	})
 	// The exact address goes to stdout so scripts can scrape the
 	// kernel-assigned port when started with :0.

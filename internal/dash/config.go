@@ -111,6 +111,14 @@ func DefaultConfig(procs int, level LocalityLevel) Config {
 	}
 }
 
+// clusters returns the number of clusters in the machine.
+func (c *Config) clusters() int {
+	if c.ClusterSize <= 0 {
+		return c.Procs
+	}
+	return (c.Procs + c.ClusterSize - 1) / c.ClusterSize
+}
+
 // cluster returns the cluster index of processor p.
 func (c *Config) cluster(p int) int {
 	if c.ClusterSize <= 0 {

@@ -3,6 +3,7 @@ package dash
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/jade"
 	"repro/internal/metrics"
 	"repro/internal/obsv"
@@ -48,6 +49,12 @@ type Machine struct {
 	// (per-object stats, latency histograms, state timelines). All
 	// instrumentation is nil-safe and free when disabled.
 	Obs *obsv.Observer
+	// Inj, when non-nil, injects deterministic faults: elevated
+	// remote-access latency on seed-chosen victim clusters (a
+	// congested mesh segment) and transient cache-invalidation storms
+	// that force cached accesses back to memory. A nil injector leaves
+	// every code path byte-identical to the healthy machine.
+	Inj *fault.Injector
 	// enqAt records each task's enqueue time for queue-wait latency;
 	// allocated lazily, only when Obs is attached.
 	enqAt map[jade.TaskID]sim.Time
@@ -412,6 +419,13 @@ func (m *Machine) accessCost(p int, a jade.Access) float64 {
 	var cycles float64
 	remote := false
 	hit := c.has(o, a.RequiredVersion)
+	if hit && m.Inj != nil && m.Inj.Invalidate(p) {
+		// A transient invalidation storm evicted the line between the
+		// previous access and this one: the hit becomes a miss and pays
+		// the full memory latency again.
+		hit = false
+		m.stats.FaultInvalidations++
+	}
 	switch {
 	case hit:
 		cycles = m.cfg.CacheHitCycles
@@ -432,6 +446,11 @@ func (m *Machine) accessCost(p int, a jade.Access) float64 {
 			cycles = m.cfg.RemoteMemCycles
 			remote = true
 		}
+	}
+	if remote && m.Inj != nil {
+		// Victim clusters sit behind a congested mesh segment: every
+		// remote access from them pays the elevated latency factor.
+		cycles *= m.Inj.RemoteFactor(m.cfg.cluster(p), m.cfg.clusters())
 	}
 	if remote {
 		m.stats.RemoteBytes += int64(o.Size)

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/table"
+)
+
+// faultDropRates is the message-loss sweep of the degradation study:
+// from a healthy network to a badly lossy one.
+var faultDropRates = []float64{0, 0.02, 0.05, 0.10, 0.20}
+
+// faultSweepSeed pins the injector seed so the study is reproducible.
+const faultSweepSeed = 1995
+
+func init() {
+	register("fault-sweep",
+		"Degradation Sweep: optimization benefit under message loss (iPSC/860, 8 processors)",
+		faultSweep)
+}
+
+// faultVariant pairs a run with an optimization against the same run
+// without it; the benefit is the execution-time difference.
+type faultVariant struct {
+	name    string
+	with    func(drop float64) RunSpec
+	without func(drop float64) RunSpec
+}
+
+// faultSpecAt returns the spec's fault block for one drop rate (nil at
+// rate zero, so the healthy column exercises the unfaulted fast path).
+func faultSpecAt(drop float64) *fault.Spec {
+	if drop == 0 {
+		return nil
+	}
+	return &fault.Spec{Seed: faultSweepSeed, DropPct: drop}
+}
+
+func faultIPSC(app, level string, drop float64, mod func(*RunSpec)) RunSpec {
+	s := RunSpec{App: app, Machine: "ipsc", Procs: 8, Level: level, Fault: faultSpecAt(drop)}
+	if mod != nil {
+		mod(&s)
+	}
+	return s
+}
+
+// faultSweep measures how much of each communication optimization's
+// benefit survives as the network loses messages: the retransmit
+// protocol keeps runs correct, but every retry burns wire time, so the
+// absolute benefit of avoiding communication should grow while the
+// relative benefit stays measurable.
+func faultSweep(scale Scale) *Result {
+	off := false
+	variants := []faultVariant{
+		{
+			name:    "locality scheduling (Water)",
+			with:    func(d float64) RunSpec { return faultIPSC("water", LevelLocality, d, nil) },
+			without: func(d float64) RunSpec { return faultIPSC("water", LevelNone, d, nil) },
+		},
+		{
+			name: "adaptive broadcast (Water)",
+			with: func(d float64) RunSpec { return faultIPSC("water", LevelLocality, d, nil) },
+			without: func(d float64) RunSpec {
+				return faultIPSC("water", LevelLocality, d, func(s *RunSpec) { s.AdaptiveBroadcast = &off })
+			},
+		},
+		{
+			name:    "locality scheduling (Ocean)",
+			with:    func(d float64) RunSpec { return faultIPSC("ocean", LevelLocality, d, nil) },
+			without: func(d float64) RunSpec { return faultIPSC("ocean", LevelNone, d, nil) },
+		},
+	}
+
+	type cell struct {
+		with, without *metrics.Run
+	}
+	grid := make([]cell, len(variants)*len(faultDropRates))
+	each(len(grid), func(k int) {
+		v, d := variants[k/len(faultDropRates)], faultDropRates[k%len(faultDropRates)]
+		w := mustExecute(v.with(d), scale)
+		wo := mustExecute(v.without(d), scale)
+		grid[k] = cell{with: w, without: wo}
+	})
+
+	head := []string{"optimization \\ drop rate"}
+	for _, d := range faultDropRates {
+		head = append(head, fmt.Sprintf("%.0f%%", d*100))
+	}
+	var rows [][]string
+	var retained [][]float64
+	var totalRetx int64
+	for i, v := range variants {
+		row := []string{v.name}
+		var series []float64
+		base := 0.0
+		for j := range faultDropRates {
+			c := grid[i*len(faultDropRates)+j]
+			benefit := c.without.ExecTime - c.with.ExecTime
+			totalRetx += c.with.MsgRetransmits + c.without.MsgRetransmits
+			if j == 0 {
+				base = benefit
+			}
+			pct := 0.0
+			if base > 0 {
+				pct = benefit / base * 100
+			}
+			series = append(series, pct)
+			row = append(row, fmt.Sprintf("%s (%s s)", table.Cell(pct), table.Cell(benefit)))
+		}
+		rows = append(rows, row)
+		retained = append(retained, series)
+	}
+
+	labels := make([]string, len(variants))
+	for i, v := range variants {
+		labels[i] = v.name
+	}
+	return &Result{ID: "fault-sweep", Title: registry["fault-sweep"].Title,
+		Head: head, Rows: rows,
+		Plot: faultPlot(registry["fault-sweep"].Title, labels, retained),
+		Notes: fmt.Sprintf("cells are %% of the healthy-network benefit retained (absolute benefit in "+
+			"seconds); every faulted message is eventually delivered by the retransmit protocol "+
+			"(%d retransmits across the sweep), so results stay correct while the benefit of "+
+			"avoiding communication grows with the loss rate", totalRetx)}
+}
+
+// faultPlot builds the retained-benefit figure over drop rates (the x
+// axis is the drop percentage rather than the processor count).
+func faultPlot(title string, labels []string, series [][]float64) *table.Plot {
+	markers := []byte{'*', 'o', '+', 'x', '#'}
+	p := &table.Plot{Title: title, XLabel: "drop %", YLabel: "benefit retained %"}
+	for i, lab := range labels {
+		xs := make([]float64, len(faultDropRates))
+		for k, d := range faultDropRates {
+			xs[k] = d * 100
+		}
+		p.Series = append(p.Series, table.Series{Label: lab, X: xs, Y: series[i], Marker: markers[i%len(markers)]})
+	}
+	return p
+}
+
+// mustExecute runs a spec that the driver itself constructed; any
+// error is a programming bug, not an input problem.
+func mustExecute(s RunSpec, scale Scale) *metrics.Run {
+	r, err := s.Execute(scale)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fault sweep spec failed: %v", err))
+	}
+	return r
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 )
 
@@ -25,10 +26,13 @@ type ResultJSON struct {
 // the full metrics schema (per-object stats, latency histograms,
 // per-processor timeline).
 type InstrumentedRun struct {
-	App     string          `json:"app"`
-	Machine string          `json:"machine"`
-	Procs   int             `json:"procs"`
-	Level   string          `json:"level"`
+	App     string `json:"app"`
+	Machine string `json:"machine"`
+	Procs   int    `json:"procs"`
+	Level   string `json:"level"`
+	// Fault echoes the run's fault-injection block so a faulted
+	// document is self-describing; absent on healthy runs.
+	Fault   *fault.Spec     `json:"fault,omitempty"`
 	Metrics *metrics.Report `json:"metrics"`
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dash"
+	"repro/internal/fault"
 	"repro/internal/ipsc"
 	"repro/internal/jade"
 	"repro/internal/metrics"
@@ -50,6 +51,14 @@ type RunSpec struct {
 
 	// SpeedAware enables the cluster model's speed-weighted scheduler.
 	SpeedAware bool `json:"speed_aware,omitempty"`
+
+	// Fault, when present, injects deterministic faults into the run
+	// (jade-fault/v1): message loss and link degradation on the iPSC
+	// model, victim-cluster latency and invalidation storms on DASH.
+	// The same seed always reproduces the same faulted execution. A
+	// block that enables no fault is canonicalized away, so inert
+	// blocks hash like healthy specs.
+	Fault *fault.Spec `json:"fault,omitempty"`
 }
 
 // Level names accepted by RunSpec.
@@ -153,6 +162,17 @@ func (s *RunSpec) Canonicalize() error {
 	if s.Machine != "cluster" && s.SpeedAware {
 		return fmt.Errorf("run spec: speed_aware applies only to the cluster machine (got %q)", s.Machine)
 	}
+	if s.Fault != nil {
+		if err := s.Fault.Canonicalize(); err != nil {
+			return fmt.Errorf("run spec: %w", err)
+		}
+		if s.Machine == "cluster" && s.Fault.Active() {
+			return fmt.Errorf("run spec: fault injection applies only to the dash and ipsc machines (got %q)", s.Machine)
+		}
+		if !s.Fault.Active() && !s.Fault.Panic {
+			s.Fault = nil // an inert fault block is no fault block
+		}
+	}
 	return nil
 }
 
@@ -187,10 +207,20 @@ func (s RunSpec) Execute(scale Scale) (*metrics.Run, error) {
 	}
 	a := appKeys[s.App]
 	place := s.Level == LevelPlacement && a.hasPlacement
+	if s.Fault != nil && s.Fault.Panic {
+		// Chaos hook for the serving stack: a spec can ask its own
+		// execution to panic, exercising per-job panic isolation.
+		panic(fmt.Sprintf("fault: injected panic (app=%s machine=%s)", s.App, s.Machine))
+	}
+	var inj *fault.Injector
+	if s.Fault != nil {
+		inj = fault.NewInjector(*s.Fault, s.Procs)
+	}
 	var rt *jade.Runtime
 	switch s.Machine {
 	case "dash":
 		m := dash.New(dash.DefaultConfig(s.Procs, dashLevel(s.Level)))
+		m.Inj = inj
 		if s.Observe {
 			m.Obs = obsv.New(s.Procs)
 		}
@@ -209,6 +239,7 @@ func (s RunSpec) Execute(scale Scale) (*metrics.Run, error) {
 			cfg.TargetTasks = s.TargetTasks
 		}
 		m := ipsc.New(cfg)
+		m.Inj = inj
 		if s.Observe {
 			m.Obs = obsv.New(s.Procs)
 		}
@@ -238,7 +269,7 @@ func (s RunSpec) Instrumented(scale Scale) (InstrumentedRun, error) {
 	}
 	return InstrumentedRun{
 		App: s.App, Machine: s.Machine, Procs: s.Procs,
-		Level: s.Level, Metrics: r.Report(),
+		Level: s.Level, Fault: s.Fault, Metrics: r.Report(),
 	}, nil
 }
 

@@ -1,0 +1,76 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseFlag parses the command-line fault syntax — comma-separated
+// key=value pairs, e.g. "seed=7,drop=0.05,straggle=2" — into a
+// canonical Spec. Keys:
+//
+//	seed=N            injector seed (default 1)
+//	drop=P            message drop probability [0,1), iPSC
+//	dup=P             message duplication probability [0,1), iPSC
+//	linkpct=P         fraction of degraded links [0,1), iPSC
+//	linkslow=F        degraded-link slowdown factor (default 4)
+//	straggle=K        number of straggler processors, iPSC
+//	stragglefactor=F  straggler slowdown factor (default 3)
+//	victims=K         number of victim clusters, DASH
+//	remotefactor=F    victim remote-latency factor (default 4)
+//	invalidate=P      cache-invalidation storm probability [0,1), DASH
+//	panic=1           inject a panic instead of running (chaos hook)
+//
+// An empty string returns (nil, nil): no fault injection.
+func ParseFlag(s string) (*Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	spec := &Spec{Seed: 1}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("fault flag: %q is not key=value", kv)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		var err error
+		switch k {
+		case "seed":
+			spec.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "drop":
+			spec.DropPct, err = strconv.ParseFloat(v, 64)
+		case "dup":
+			spec.DupPct, err = strconv.ParseFloat(v, 64)
+		case "linkpct":
+			spec.DegradedLinkPct, err = strconv.ParseFloat(v, 64)
+		case "linkslow":
+			spec.LinkSlowdown, err = strconv.ParseFloat(v, 64)
+		case "straggle":
+			spec.Stragglers, err = strconv.Atoi(v)
+		case "stragglefactor":
+			spec.StraggleFactor, err = strconv.ParseFloat(v, 64)
+		case "victims":
+			spec.VictimClusters, err = strconv.Atoi(v)
+		case "remotefactor":
+			spec.RemoteLatencyFactor, err = strconv.ParseFloat(v, 64)
+		case "invalidate":
+			spec.InvalidatePct, err = strconv.ParseFloat(v, 64)
+		case "panic":
+			spec.Panic, err = strconv.ParseBool(v)
+		default:
+			return nil, fmt.Errorf("fault flag: unknown key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault flag: %s=%s: %v", k, v, err)
+		}
+	}
+	if err := spec.Canonicalize(); err != nil {
+		return nil, fmt.Errorf("fault flag: %v", err)
+	}
+	if !spec.Active() && !spec.Panic {
+		return nil, fmt.Errorf("fault flag: %q enables no fault (set drop, dup, linkpct, straggle, victims, or invalidate)", s)
+	}
+	return spec, nil
+}

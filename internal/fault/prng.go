@@ -1,0 +1,44 @@
+package fault
+
+// The injector's randomness is a stateless keyed hash, not a stream:
+// every decision is a pure function of (seed, key...), in the style of
+// splitmix64. That is what makes fault injection deterministic under
+// concurrency and replay — the same seed, processor, and message index
+// always produce the same drop/duplicate/backoff-jitter decisions, no
+// matter how many runs interleave in one process or in which order the
+// simulator fires events.
+
+// splitmix64 is the splitmix64 output function: a bijective avalanche
+// mix of one 64-bit word.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// mix folds the keys into the seed one word at a time, re-avalanching
+// after each, so (seed, a, b) and (seed, b, a) diverge.
+func mix(seed uint64, keys ...uint64) uint64 {
+	z := splitmix64(seed ^ 0x6a09e667f3bcc909)
+	for _, k := range keys {
+		z = splitmix64(z ^ k)
+	}
+	return z
+}
+
+// unit maps a keyed draw onto [0, 1) with 53-bit resolution.
+func unit(seed uint64, keys ...uint64) float64 {
+	return float64(mix(seed, keys...)>>11) / (1 << 53)
+}
+
+// chance reports a keyed Bernoulli draw with probability p.
+func chance(p float64, seed uint64, keys ...uint64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return unit(seed, keys...) < p
+}

@@ -3,6 +3,7 @@ package ipsc
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/jade"
 	"repro/internal/metrics"
 	"repro/internal/obsv"
@@ -74,6 +75,12 @@ type Machine struct {
 	// (per-object stats, latency histograms, state timelines). All
 	// instrumentation is nil-safe and free when disabled.
 	Obs *obsv.Observer
+	// Inj, when non-nil, injects deterministic faults: message drops
+	// recovered by the retransmit protocol, in-flight duplicates,
+	// per-link bandwidth degradation, and straggling processors. A nil
+	// injector leaves every code path byte-identical to the healthy
+	// machine.
+	Inj *fault.Injector
 
 	stats    metrics.Run
 	execBase sim.Time
@@ -158,9 +165,10 @@ func (m *Machine) TaskEnabled(t *jade.Task) {
 	m.eng.At(at, func() { m.schedule(t) })
 }
 
-// SerialWork implements jade.Platform.
+// SerialWork implements jade.Platform. Serial phases run on node 0,
+// so a straggling main processor stretches them too.
 func (m *Machine) SerialWork(d float64) {
-	m.nodes[0].cpu.Submit(m.eng.Now(), sim.Time(d*m.cfg.SpeedFactor), nil)
+	m.nodes[0].cpu.Submit(m.eng.Now(), sim.Time(d*m.cfg.SpeedFactor*m.cpuFactor(0)), nil)
 }
 
 // Drain implements jade.Platform.
@@ -193,6 +201,62 @@ func (m *Machine) ResetStats() {
 		m.busyBase = append(m.busyBase, float64(n.cpu.BusyTime()))
 	}
 	m.Obs.Reset()
+}
+
+// maxSendAttempts bounds the retransmit protocol: after this many
+// lost transmissions the delivery is forced — injected links are
+// lossy, not dead, and the simulation must terminate at any drop rate.
+const maxSendAttempts = 12
+
+// send models one point-to-point protocol message from -> to with the
+// given payload: NIC occupancy on the sender (starting no earlier than
+// at), wire latency, then deliver at the receiver. With a fault
+// injector attached the transmission may be dropped — the sender
+// detects the loss by a timeout derived from the cost model (data
+// occupancy + round-trip wire latency + the ack push) and retransmits
+// with exponential backoff and deterministic jitter — or duplicated in
+// flight, in which case the receiver discards the extra copy but the
+// sender NIC still pays for it. Without an injector the path is
+// byte-identical to the direct Submit/At sequence it replaced.
+func (m *Machine) send(at sim.Time, from, to, bytes int, deliver func()) {
+	occ := sim.Time(m.cfg.sendOccupancy(bytes))
+	lat := sim.Time(m.cfg.msgLatency(from, to))
+	if m.Inj == nil {
+		sent := m.nodes[from].nic.Submit(at, occ, nil)
+		m.eng.At(sent+lat, deliver)
+		return
+	}
+	occ = sim.Time(float64(occ) * m.Inj.LinkFactor(from, to))
+	msg := m.Inj.NextMsg(from)
+	// Per-message retransmit timeout from the paper's cost model: the
+	// data push, the wire both ways, and the receiver's ack push.
+	rto := occ + 2*lat + sim.Time(m.cfg.sendOccupancy(m.cfg.CompletionBytes))
+	var try func(start sim.Time, attempt int)
+	try = func(start sim.Time, attempt int) {
+		sent := m.nodes[from].nic.Submit(start, occ, nil)
+		if m.Inj.Drop(from, msg, attempt) && attempt < maxSendAttempts-1 {
+			m.stats.MsgDropped++
+			m.stats.MsgRetransmits++
+			// Exponential backoff with deterministic jitter in [1, 2).
+			backoff := sim.Time(float64(rto) * float64(uint64(1)<<uint(attempt)) *
+				(1 + m.Inj.Jitter(from, msg, attempt)))
+			m.eng.At(sent+backoff, func() { try(m.eng.Now(), attempt+1) })
+			return
+		}
+		if m.Inj.Duplicate(from, msg) {
+			m.stats.MsgDuplicates++
+			m.nodes[from].nic.Submit(sent, occ, nil)
+		}
+		m.Obs.MsgDelivery(attempt + 1)
+		m.eng.At(sent+lat, deliver)
+	}
+	try(at, 0)
+}
+
+// cpuFactor is the straggler slowdown for processor p (1 when no
+// injector is attached or p is healthy).
+func (m *Machine) cpuFactor(p int) float64 {
+	return m.Inj.CPUFactor(p)
 }
 
 // schedule runs the centralized scheduling decision on the main
@@ -288,9 +352,7 @@ func (m *Machine) assign(ts *taskState, p int) {
 		m.eng.At(decided, func() { m.taskArrived(ts) })
 		return
 	}
-	sent := m.nodes[0].nic.Submit(decided, sim.Time(m.cfg.sendOccupancy(m.cfg.TaskMsgBytes)), nil)
-	arrival := sent + sim.Time(m.cfg.msgLatency(0, p))
-	m.eng.At(arrival, func() { m.taskArrived(ts) })
+	m.send(decided, 0, p, m.cfg.TaskMsgBytes, func() { m.taskArrived(ts) })
 }
 
 // taskArrived runs in the receiving node's message handler: it
@@ -355,14 +417,10 @@ func (m *Machine) fetchThen(ts *taskState, a jade.Access, then func()) {
 	ts.reqCount++
 
 	// Request message: p → owner.
-	reqSent := m.nodes[p].nic.Submit(issued, sim.Time(m.cfg.sendOccupancy(m.cfg.RequestBytes)), nil)
-	reqArrive := reqSent + sim.Time(m.cfg.msgLatency(p, owner))
-	m.eng.At(reqArrive, func() {
+	m.send(issued, p, owner, m.cfg.RequestBytes, func() {
 		m.noteAccess(o.ID, a.RequiredVersion, p)
 		// Reply: owner → p, carrying the object.
-		repSent := m.nodes[owner].nic.Submit(m.eng.Now(), sim.Time(m.cfg.sendOccupancy(o.Size)), nil)
-		arrive := repSent + sim.Time(m.cfg.msgLatency(owner, p))
-		m.eng.At(arrive, func() {
+		m.send(m.eng.Now(), owner, p, o.Size, func() {
 			m.nodes[p].store[o.ID] = a.RequiredVersion
 			m.stats.MsgBytes += int64(o.Size)
 			m.stats.MsgCount++
@@ -410,7 +468,7 @@ func (m *Machine) noteAccess(id jade.ObjectID, v jade.Version, p int) {
 // the completion protocol run at the completion time.
 func (m *Machine) ready(ts *taskState) {
 	p := ts.proc
-	work := ts.t.Work * m.cfg.SpeedFactor
+	work := ts.t.Work * m.cfg.SpeedFactor * m.cpuFactor(p)
 	m.stats.TaskMgmtTime += m.cfg.DispatchSec
 	m.stats.TaskCount++
 	if p == ts.target {
@@ -449,7 +507,7 @@ func (m *Machine) readyStaged(ts *taskState) {
 	var run func(i int)
 	run = func(i int) {
 		m.rt.RunSegmentBody(ts.t, i)
-		d := segs[i].Work * m.cfg.SpeedFactor
+		d := segs[i].Work * m.cfg.SpeedFactor * m.cpuFactor(p)
 		if i == 0 {
 			d += m.cfg.DispatchSec
 		}
@@ -501,8 +559,7 @@ func (m *Machine) completed(ts *taskState) {
 		notify()
 		return
 	}
-	sent := m.nodes[p].nic.Submit(m.eng.Now(), sim.Time(m.cfg.sendOccupancy(m.cfg.CompletionBytes)), nil)
-	m.eng.At(sent+sim.Time(m.cfg.msgLatency(p, 0)), notify)
+	m.send(m.eng.Now(), p, 0, m.cfg.CompletionBytes, notify)
 }
 
 // produce installs a new version of an object owned by processor p,
@@ -567,10 +624,9 @@ func (m *Machine) eagerUpdate(o *jade.Object, v jade.Version, p int, readers map
 			continue
 		}
 		q := q
-		sent := m.nodes[p].nic.Submit(m.eng.Now(), sim.Time(m.cfg.sendOccupancy(o.Size)), nil)
 		m.stats.MsgBytes += int64(o.Size)
 		m.stats.MsgCount++
-		m.eng.At(sent+sim.Time(m.cfg.msgLatency(p, q)), func() {
+		m.send(m.eng.Now(), p, q, o.Size, func() {
 			if st.version != v {
 				return // superseded in flight
 			}

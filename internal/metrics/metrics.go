@@ -51,6 +51,18 @@ type Run struct {
 	// tasks, summed over processors.
 	TaskMgmtTime float64
 
+	// Fault-injection accounting (internal/fault); all zero on a
+	// healthy run. MsgDropped counts transmissions lost in flight on
+	// the message-passing model, MsgRetransmits the timeout-driven
+	// resends that recovered them, and MsgDuplicates in-flight
+	// duplicates discarded by the receiver. FaultInvalidations counts
+	// cache hits the shared-memory model forced back to memory during
+	// injected invalidation storms.
+	MsgDropped         int64
+	MsgRetransmits     int64
+	MsgDuplicates      int64
+	FaultInvalidations int64
+
 	// RemoteBytes counts bytes satisfied from remote memory on the
 	// shared-memory model.
 	RemoteBytes int64

@@ -15,53 +15,63 @@ const Schema = "jade-metrics/v1"
 // consumed by jadebench -json, CI, and the BENCH_*.json trajectory.
 // All durations are virtual seconds.
 type Report struct {
-	Schema           string         `json:"schema"`
-	Procs            int            `json:"procs"`
-	ExecTimeSec      float64        `json:"exec_time_sec"`
-	TaskCount        int            `json:"task_count"`
-	TasksOnTarget    int            `json:"tasks_on_target"`
-	LocalityPct      float64        `json:"locality_pct"`
-	TaskExecSec      float64        `json:"task_exec_sec"`
-	MsgBytes         int64          `json:"msg_bytes"`
-	MsgCount         int64          `json:"msg_count"`
-	BroadcastCount   int            `json:"broadcast_count"`
-	ReplicatedReads  int64          `json:"replicated_reads"`
-	ObjectLatencySec float64        `json:"object_latency_sec"`
-	TaskLatencySec   float64        `json:"task_latency_sec"`
-	TaskMgmtSec      float64        `json:"task_mgmt_sec"`
-	RemoteBytes      int64          `json:"remote_bytes"`
-	LocalBytes       int64          `json:"local_bytes"`
-	ProcBusySec      []float64      `json:"proc_busy_sec"`
-	Utilization      []float64      `json:"utilization"`
-	OverBusy         []int          `json:"over_busy,omitempty"`
-	CommCompMBPerSec float64        `json:"comm_comp_mb_per_sec"`
-	Observability    *obsv.Snapshot `json:"observability,omitempty"`
+	Schema          string  `json:"schema"`
+	Procs           int     `json:"procs"`
+	ExecTimeSec     float64 `json:"exec_time_sec"`
+	TaskCount       int     `json:"task_count"`
+	TasksOnTarget   int     `json:"tasks_on_target"`
+	LocalityPct     float64 `json:"locality_pct"`
+	TaskExecSec     float64 `json:"task_exec_sec"`
+	MsgBytes        int64   `json:"msg_bytes"`
+	MsgCount        int64   `json:"msg_count"`
+	BroadcastCount  int     `json:"broadcast_count"`
+	ReplicatedReads int64   `json:"replicated_reads"`
+	// The fault counters are omitted when zero so healthy-run reports
+	// are byte-identical to those of builds without fault injection.
+	MsgDropped         int64          `json:"msg_dropped,omitempty"`
+	MsgRetransmits     int64          `json:"msg_retransmits,omitempty"`
+	MsgDuplicates      int64          `json:"msg_duplicates,omitempty"`
+	FaultInvalidations int64          `json:"fault_invalidations,omitempty"`
+	ObjectLatencySec   float64        `json:"object_latency_sec"`
+	TaskLatencySec     float64        `json:"task_latency_sec"`
+	TaskMgmtSec        float64        `json:"task_mgmt_sec"`
+	RemoteBytes        int64          `json:"remote_bytes"`
+	LocalBytes         int64          `json:"local_bytes"`
+	ProcBusySec        []float64      `json:"proc_busy_sec"`
+	Utilization        []float64      `json:"utilization"`
+	OverBusy           []int          `json:"over_busy,omitempty"`
+	CommCompMBPerSec   float64        `json:"comm_comp_mb_per_sec"`
+	Observability      *obsv.Snapshot `json:"observability,omitempty"`
 }
 
 // Report converts the run into its stable machine-readable form.
 func (r *Run) Report() *Report {
 	return &Report{
-		Schema:           Schema,
-		Procs:            r.Procs,
-		ExecTimeSec:      r.ExecTime,
-		TaskCount:        r.TaskCount,
-		TasksOnTarget:    r.TasksOnTarget,
-		LocalityPct:      r.LocalityPct(),
-		TaskExecSec:      r.TaskExecTotal,
-		MsgBytes:         r.MsgBytes,
-		MsgCount:         r.MsgCount,
-		BroadcastCount:   r.BroadcastCount,
-		ReplicatedReads:  r.ReplicatedReads,
-		ObjectLatencySec: r.ObjectLatency,
-		TaskLatencySec:   r.TaskLatency,
-		TaskMgmtSec:      r.TaskMgmtTime,
-		RemoteBytes:      r.RemoteBytes,
-		LocalBytes:       r.LocalBytes,
-		ProcBusySec:      append([]float64(nil), r.ProcBusy...),
-		Utilization:      r.Utilization(),
-		OverBusy:         r.OverBusy(),
-		CommCompMBPerSec: r.CommCompRatio(),
-		Observability:    r.Obsv,
+		Schema:             Schema,
+		Procs:              r.Procs,
+		ExecTimeSec:        r.ExecTime,
+		TaskCount:          r.TaskCount,
+		TasksOnTarget:      r.TasksOnTarget,
+		LocalityPct:        r.LocalityPct(),
+		TaskExecSec:        r.TaskExecTotal,
+		MsgBytes:           r.MsgBytes,
+		MsgCount:           r.MsgCount,
+		BroadcastCount:     r.BroadcastCount,
+		ReplicatedReads:    r.ReplicatedReads,
+		MsgDropped:         r.MsgDropped,
+		MsgRetransmits:     r.MsgRetransmits,
+		MsgDuplicates:      r.MsgDuplicates,
+		FaultInvalidations: r.FaultInvalidations,
+		ObjectLatencySec:   r.ObjectLatency,
+		TaskLatencySec:     r.TaskLatency,
+		TaskMgmtSec:        r.TaskMgmtTime,
+		RemoteBytes:        r.RemoteBytes,
+		LocalBytes:         r.LocalBytes,
+		ProcBusySec:        append([]float64(nil), r.ProcBusy...),
+		Utilization:        r.Utilization(),
+		OverBusy:           r.OverBusy(),
+		CommCompMBPerSec:   r.CommCompRatio(),
+		Observability:      r.Obsv,
 	}
 }
 

@@ -29,6 +29,7 @@ type Observer struct {
 	objects map[int]*ObjectStat
 	fetch   Histogram
 	wait    Histogram
+	deliv   Histogram
 	tl      *timeline
 }
 
@@ -93,6 +94,19 @@ func (o *Observer) TaskWait(latencySec float64) {
 	o.mu.Unlock()
 }
 
+// MsgDelivery records how many transmission attempts one protocol
+// message needed before it was delivered (1 = no retransmit). Machine
+// models call it from the fault-injected retransmit path; the
+// distribution is the delivery-count metric surfaced in snapshots.
+func (o *Observer) MsgDelivery(attempts int) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.deliv.Record(float64(attempts))
+	o.mu.Unlock()
+}
+
 // Span records that processor proc spent [startSec, endSec) in the
 // given state on the virtual clock.
 func (o *Observer) Span(proc int, st State, startSec, endSec float64) {
@@ -115,6 +129,7 @@ func (o *Observer) Reset() {
 	o.objects = make(map[int]*ObjectStat)
 	o.fetch.Reset()
 	o.wait.Reset()
+	o.deliv.Reset()
 	o.tl = newTimeline(procs)
 	o.mu.Unlock()
 }
@@ -130,6 +145,11 @@ type Snapshot struct {
 	FetchLatency LatencySummary `json:"fetch_latency"`
 	// TaskWait is the distribution of per-task communication stalls.
 	TaskWait LatencySummary `json:"task_wait"`
+	// DeliveryAttempts is the distribution of transmission attempts
+	// per delivered protocol message under fault injection (values are
+	// counts, not seconds; 1 means delivered first try). Omitted on
+	// healthy runs so their snapshots stay byte-identical.
+	DeliveryAttempts *LatencySummary `json:"delivery_attempts,omitempty"`
 	// Timeline is the per-processor busy/fetch/mgmt series over time.
 	Timeline *Timeline `json:"timeline,omitempty"`
 }
@@ -162,13 +182,18 @@ func (o *Observer) Snapshot(topN int) *Snapshot {
 	if n > topN {
 		objs = objs[:topN]
 	}
-	return &Snapshot{
+	snap := &Snapshot{
 		HotObjects:   objs,
 		ObjectCount:  n,
 		FetchLatency: o.fetch.Summary(),
 		TaskWait:     o.wait.Summary(),
 		Timeline:     o.tl.snapshot(),
 	}
+	if o.deliv.Count() > 0 {
+		s := o.deliv.Summary()
+		snap.DeliveryAttempts = &s
+	}
+	return snap
 }
 
 // WriteHotObjects renders the hot-object report as text: one row per

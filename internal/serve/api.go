@@ -27,18 +27,29 @@ const (
 	StatusFailed  = "failed"
 )
 
+// Error codes reported in JobStatus.ErrorCode for failed jobs. A
+// timeout is a capacity problem (the same spec may succeed later); a
+// plain failure is inherent to the spec or the runner.
+const (
+	ErrCodeTimeout = "timeout"
+	ErrCodeFailed  = "failed"
+)
+
 // JobStatus is the job-status response document. Result carries the
 // jadebench/v1 report once the job is done; CacheHit reports whether
 // it came from the result cache rather than a fresh run.
 type JobStatus struct {
-	Schema   string          `json:"schema"`
-	ID       string          `json:"id"`
-	Status   string          `json:"status"`
-	SpecHash string          `json:"spec_hash"`
-	CacheHit bool            `json:"cache_hit"`
-	Error    string          `json:"error,omitempty"`
-	Spec     *JobSpec        `json:"spec,omitempty"`
-	Result   json.RawMessage `json:"result,omitempty"`
+	Schema   string `json:"schema"`
+	ID       string `json:"id"`
+	Status   string `json:"status"`
+	SpecHash string `json:"spec_hash"`
+	CacheHit bool   `json:"cache_hit"`
+	Error    string `json:"error,omitempty"`
+	// ErrorCode classifies a failed job: ErrCodeTimeout means the job
+	// deadline expired (retry later), ErrCodeFailed everything else.
+	ErrorCode string          `json:"error_code,omitempty"`
+	Spec      *JobSpec        `json:"spec,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
 }
 
 // CatalogEntry is one experiment in the GET /v1/experiments listing.
@@ -78,7 +89,12 @@ type Metrics struct {
 	// JobsDeduped counts jobs finished by singleflight: identical to
 	// a job already executing, so they shared its result instead of
 	// running again.
-	JobsDeduped  int64   `json:"jobs_deduped"`
+	JobsDeduped int64 `json:"jobs_deduped"`
+	// JobsRetried counts re-executions after transient runner
+	// failures; JobsPanicked counts runner panics caught and turned
+	// into job failures (the worker survives both).
+	JobsRetried  int64   `json:"jobs_retried"`
+	JobsPanicked int64   `json:"jobs_panicked"`
 	CacheEntries int     `json:"cache_entries"`
 	CacheHits    uint64  `json:"cache_hits"`
 	CacheMisses  uint64  `json:"cache_misses"`
@@ -88,6 +104,9 @@ type Metrics struct {
 	// executed jobs. Cache hits are excluded — they measure the
 	// cache, not the experiment.
 	ExperimentLatency map[string]obsv.LatencySummary `json:"experiment_latency_sec"`
+	// CircuitBreakers reports the state of every experiment circuit
+	// that has recorded at least one failure (absent until then).
+	CircuitBreakers map[string]BreakerStatus `json:"circuit_breakers,omitempty"`
 }
 
 // errorBody is the JSON error envelope for non-2xx responses.

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states reported in /metricz.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// BreakerStatus is one circuit's /metricz entry.
+type BreakerStatus struct {
+	State string `json:"state"`
+	// ConsecutiveFailures is the current failure streak; it resets on
+	// any success.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Trips counts closed/half-open -> open transitions over the
+	// server's lifetime.
+	Trips int64 `json:"trips"`
+	// RetryAfterSec is how long an open circuit stays closed to
+	// submissions (omitted unless open).
+	RetryAfterSec float64 `json:"retry_after_sec,omitempty"`
+}
+
+// breaker is a per-key circuit breaker over job executions. A key is
+// an experiment ID (or the "_runs" aggregate for explicit run specs).
+// After threshold consecutive failures the circuit opens: submissions
+// naming that key are refused with 503 until the cooldown elapses.
+// The first submission after the cooldown finds the circuit half-open
+// and is let through as a probe; its success closes the circuit, its
+// failure re-opens it for another full cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu      sync.Mutex
+	entries map[string]*breakerEntry
+}
+
+type breakerEntry struct {
+	state       string
+	consecutive int
+	openedAt    time.Time
+	trips       int64
+}
+
+// newBreaker builds a breaker; threshold <= 0 disables it (every
+// allow succeeds and nothing is recorded).
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		entries:   make(map[string]*breakerEntry),
+	}
+}
+
+func (b *breaker) enabled() bool { return b.threshold > 0 }
+
+// allow reports whether a job naming the given keys may execute. When
+// a circuit is open it returns ok=false with the offending key and how
+// long the caller should wait; an elapsed cooldown moves the circuit
+// to half-open and lets the job through as a probe.
+func (b *breaker) allow(keys []string) (wait time.Duration, key string, ok bool) {
+	if !b.enabled() {
+		return 0, "", true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	for _, k := range keys {
+		e := b.entries[k]
+		if e == nil || e.state != BreakerOpen {
+			continue
+		}
+		remaining := e.openedAt.Add(b.cooldown).Sub(now)
+		if remaining > 0 {
+			return remaining, k, false
+		}
+		e.state = BreakerHalfOpen
+	}
+	return 0, "", true
+}
+
+// success records one successful execution under each key, closing any
+// half-open circuit and resetting failure streaks.
+func (b *breaker) success(keys []string) {
+	if !b.enabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, k := range keys {
+		if e := b.entries[k]; e != nil {
+			e.state = BreakerClosed
+			e.consecutive = 0
+		}
+	}
+}
+
+// failure records one failed execution under each key. A half-open
+// circuit re-opens immediately; a closed one opens once the streak
+// reaches the threshold.
+func (b *breaker) failure(keys []string) {
+	if !b.enabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	for _, k := range keys {
+		e := b.entries[k]
+		if e == nil {
+			e = &breakerEntry{state: BreakerClosed}
+			b.entries[k] = e
+		}
+		e.consecutive++
+		if e.state == BreakerHalfOpen || e.consecutive >= b.threshold {
+			e.state = BreakerOpen
+			e.openedAt = now
+			e.trips++
+		}
+	}
+}
+
+// snapshot exports every tracked circuit for /metricz.
+func (b *breaker) snapshot() map[string]BreakerStatus {
+	if !b.enabled() {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.entries) == 0 {
+		return nil
+	}
+	now := b.now()
+	out := make(map[string]BreakerStatus, len(b.entries))
+	for k, e := range b.entries {
+		st := BreakerStatus{State: e.state, ConsecutiveFailures: e.consecutive, Trips: e.trips}
+		if e.state == BreakerOpen {
+			if remaining := e.openedAt.Add(b.cooldown).Sub(now); remaining > 0 {
+				st.RetryAfterSec = remaining.Seconds()
+			}
+		}
+		out[k] = st
+	}
+	return out
+}
+
+// breakerKeys lists the circuits a job spec touches.
+func breakerKeys(spec *JobSpec) []string {
+	keys := append([]string(nil), spec.Experiments...)
+	if len(spec.Runs) > 0 {
+		keys = append(keys, "_runs")
+	}
+	return keys
+}

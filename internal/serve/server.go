@@ -26,14 +26,25 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obsv"
 )
+
+// ErrTransient marks runner errors worth retrying: wrap (or join) it
+// into an error to tell the server the failure is not inherent to the
+// spec. Anything else fails the job on the first attempt.
+var ErrTransient = errors.New("transient error")
+
+// errTimeout marks deadline expiries so finish can report the distinct
+// "timeout" error code (and sync submits can answer 504 + Retry-After).
+var errTimeout = errors.New("timeout")
 
 // Config parameterizes the server.
 type Config struct {
@@ -53,6 +64,21 @@ type Config struct {
 	// can use the whole machine. 0 keeps the engine default
 	// (GOMAXPROCS); 1 forces serial execution.
 	RunParallelism int
+	// MaxRetries bounds re-executions of a job whose runner failed
+	// with an error wrapping ErrTransient (default 2 retries, i.e. 3
+	// attempts; negative disables retrying).
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubling on
+	// each subsequent one (default 50ms).
+	RetryBackoff time.Duration
+	// BreakerThreshold trips an experiment's circuit breaker after
+	// this many consecutive execution failures (default 5; negative
+	// disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped circuit refuses
+	// submissions before letting a half-open probe through
+	// (default 30s).
+	BreakerCooldown time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -68,6 +94,24 @@ func (c *Config) fillDefaults() {
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 2 * time.Minute
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerThreshold < 0 {
+		c.BreakerThreshold = 0
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
 }
 
 // Job is one submitted job. Mutable fields are guarded by the
@@ -81,7 +125,14 @@ type Job struct {
 	cacheHit bool
 	result   json.RawMessage
 	errMsg   string
+	errCode  string
 	done     chan struct{}
+
+	// ctx carries the job deadline, which starts at submission and
+	// covers queue wait plus execution; cancel releases it when the
+	// job reaches a terminal state.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	// followers are identical jobs (same canonical hash) that arrived
 	// while this one was executing; singleflight finishes them with
@@ -100,8 +151,11 @@ type Server struct {
 	wg    sync.WaitGroup
 
 	// runFn executes a canonical job spec; tests substitute a
-	// controllable runner.
-	runFn func(*JobSpec) ([]byte, error)
+	// controllable runner. The context carries the job deadline.
+	runFn func(context.Context, *JobSpec) ([]byte, error)
+
+	// breaker refuses submissions for experiments that keep failing.
+	breaker *breaker
 
 	mu        sync.Mutex
 	jobs      map[string]*Job
@@ -114,6 +168,8 @@ type Server struct {
 	failed    int64
 	rejected  int64
 	deduped   int64
+	retried   int64
+	panicked  int64
 	latency   map[string]*obsv.Histogram
 }
 
@@ -124,7 +180,7 @@ func New(cfg Config) *Server {
 
 // newServer wires a server around an arbitrary runner; tests inject
 // controllable ones.
-func newServer(cfg Config, runFn func(*JobSpec) ([]byte, error)) *Server {
+func newServer(cfg Config, runFn func(context.Context, *JobSpec) ([]byte, error)) *Server {
 	cfg.fillDefaults()
 	if cfg.RunParallelism > 0 {
 		experiments.SetParallelism(cfg.RunParallelism)
@@ -135,6 +191,7 @@ func newServer(cfg Config, runFn func(*JobSpec) ([]byte, error)) *Server {
 		cache:    NewCache(cfg.CacheEntries),
 		start:    time.Now(),
 		runFn:    runFn,
+		breaker:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 		latency:  make(map[string]*obsv.Histogram),
@@ -158,8 +215,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // runJobSpec executes a canonical job spec against the experiment
-// engine and returns the encoded jadebench/v1 document.
-func runJobSpec(spec *JobSpec) ([]byte, error) {
+// engine and returns the encoded jadebench/v1 document. The engine has
+// no cancellation points mid-simulation, so ctx is consulted only by
+// the caller.
+func runJobSpec(_ context.Context, spec *JobSpec) ([]byte, error) {
 	rep, err := experiments.BuildReportWithRuns(spec.Experiments, spec.Runs, experiments.Scale(spec.Scale))
 	if err != nil {
 		return nil, err
@@ -219,6 +278,13 @@ func (s *Server) execute(j *Job) {
 		s.finish(j, data, true, nil)
 		return
 	}
+	// The job deadline started at submission; a job that spent it all
+	// waiting in the queue fails without burning a worker on it.
+	if j.ctx.Err() != nil {
+		s.finish(j, nil, false, fmt.Errorf(
+			"%w: the %s job deadline expired while the job was queued", errTimeout, s.cfg.JobTimeout))
+		return
+	}
 	s.mu.Lock()
 	if leader, ok := s.inflight[j.Hash]; ok {
 		leader.followers = append(leader.followers, j)
@@ -232,32 +298,15 @@ func (s *Server) execute(j *Job) {
 	s.mu.Unlock()
 	started := time.Now()
 
-	type outcome struct {
-		data []byte
-		err  error
-	}
-	ch := make(chan outcome, 1)
-	spec := j.Spec
-	go func() {
-		data, err := s.runFn(spec)
-		ch <- outcome{data, err}
-	}()
-
-	var data []byte
-	var err error
-	timer := time.NewTimer(s.cfg.JobTimeout)
-	select {
-	case o := <-ch:
-		timer.Stop()
-		data, err = o.data, o.err
-	case <-timer.C:
-		// The runner has no cancellation points mid-simulation; the
-		// goroutine is abandoned and its eventual result dropped.
-		err = fmt.Errorf("job exceeded the %s execution timeout", s.cfg.JobTimeout)
-	}
+	data, err := s.run(j)
 	if err == nil {
 		s.cache.Put(j.Hash, data)
 		s.observe(j, time.Since(started).Seconds())
+	}
+	if keys := breakerKeys(j.Spec); err != nil {
+		s.breaker.failure(keys)
+	} else {
+		s.breaker.success(keys)
 	}
 	s.mu.Lock()
 	delete(s.inflight, j.Hash)
@@ -275,7 +324,71 @@ func (s *Server) execute(j *Job) {
 	}
 }
 
-// finish moves a job to its terminal state and wakes waiters.
+// run executes the job's spec, retrying transient failures with
+// exponential backoff inside the job deadline.
+func (s *Server) run(j *Job) ([]byte, error) {
+	attempts := s.cfg.MaxRetries + 1
+	backoff := s.cfg.RetryBackoff
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-j.ctx.Done():
+				return nil, fmt.Errorf("%w: the job deadline expired during retry backoff: %v", errTimeout, err)
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			s.mu.Lock()
+			s.retried++
+			s.mu.Unlock()
+		}
+		var data []byte
+		data, err = s.runOnce(j.ctx, j.Spec)
+		if err == nil {
+			return data, nil
+		}
+		if errors.Is(err, errTimeout) || !errors.Is(err, ErrTransient) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("gave up after %d attempts: %w", attempts, err)
+}
+
+// runOnce runs the spec on a fresh goroutine with panic isolation: a
+// panicking job fails with a stack-capture error instead of killing
+// the worker (or the process). The deadline is enforced here; on
+// expiry the simulation goroutine is abandoned and its eventual
+// result dropped, since the engine has no mid-run cancellation points.
+func (s *Server) runOnce(ctx context.Context, spec *JobSpec) ([]byte, error) {
+	type outcome struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.mu.Lock()
+				s.panicked++
+				s.mu.Unlock()
+				ch <- outcome{nil, fmt.Errorf("job panicked: %v\n%s", rec, debug.Stack())}
+			}
+		}()
+		data, err := s.runFn(ctx, spec)
+		ch <- outcome{data, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.data, o.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: job exceeded the %s deadline (queue wait included)",
+			errTimeout, s.cfg.JobTimeout)
+	}
+}
+
+// finish moves a job to its terminal state and wakes waiters. Timeout
+// failures carry the distinct "timeout" error code so clients can tell
+// "retry later" from "this spec fails".
 func (s *Server) finish(j *Job, data []byte, cacheHit bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -283,11 +396,18 @@ func (s *Server) finish(j *Job, data []byte, cacheHit bool, err error) {
 	if err != nil {
 		j.status = StatusFailed
 		j.errMsg = err.Error()
+		j.errCode = ErrCodeFailed
+		if errors.Is(err, errTimeout) {
+			j.errCode = ErrCodeTimeout
+		}
 		s.failed++
 	} else {
 		j.status = StatusDone
 		j.result = data
 		s.completed++
+	}
+	if j.cancel != nil {
+		j.cancel()
 	}
 	close(j.done)
 }
@@ -350,6 +470,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Executions are gated by the per-experiment circuit breaker;
+	// cached results (above) stay served even while a circuit is open.
+	if wait, key, ok := s.breaker.allow(breakerKeys(&spec)); !ok {
+		w.Header().Set("Retry-After", retryAfterSecs(wait))
+		writeErr(w, http.StatusServiceUnavailable, fmt.Sprintf(
+			"circuit breaker for experiment %q is open after repeated failures; retry later", key))
+		return
+	}
+
 	j, err := s.newJob(&spec, hash)
 	if err != nil {
 		writeErr(w, http.StatusServiceUnavailable, err.Error())
@@ -361,6 +490,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.accepted--
 		s.rejected++
 		s.mu.Unlock()
+		if j.cancel != nil {
+			j.cancel()
+		}
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests,
 			fmt.Sprintf("job queue is full (%d queued); retry later", s.queue.Cap()))
@@ -372,11 +504,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case <-j.done:
-		writeJSON(w, http.StatusOK, s.statusDoc(j, true))
+		doc := s.statusDoc(j, true)
+		code := http.StatusOK
+		if doc.ErrorCode == ErrCodeTimeout {
+			// A timed-out job is a capacity problem, not a spec
+			// problem: tell the client when to come back.
+			w.Header().Set("Retry-After", retryAfterSecs(s.cfg.JobTimeout))
+			code = http.StatusGatewayTimeout
+		}
+		writeJSON(w, code, doc)
 	case <-r.Context().Done():
 		// The client hung up; the job keeps running and stays
 		// pollable under its ID.
 	}
+}
+
+// retryAfterSecs renders a duration as a Retry-After header value
+// (whole seconds, minimum 1).
+func retryAfterSecs(d time.Duration) string {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprint(secs)
 }
 
 // newJob registers a fresh queued job, refusing during shutdown.
@@ -394,6 +544,10 @@ func (s *Server) newJob(spec *JobSpec, hash string) (*Job, error) {
 		status: StatusQueued,
 		done:   make(chan struct{}),
 	}
+	// The deadline clock starts now: queue wait and execution share
+	// the same budget, so a job can't sit queued forever and then
+	// still claim a full execution timeout.
+	j.ctx, j.cancel = context.WithTimeout(context.Background(), s.cfg.JobTimeout)
 	s.jobs[j.ID] = j
 	s.accepted++
 	return j, nil
@@ -404,13 +558,14 @@ func (s *Server) statusDoc(j *Job, includeResult bool) *JobStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	doc := &JobStatus{
-		Schema:   StatusSchema,
-		ID:       j.ID,
-		Status:   j.status,
-		SpecHash: j.Hash,
-		CacheHit: j.cacheHit,
-		Error:    j.errMsg,
-		Spec:     j.Spec,
+		Schema:    StatusSchema,
+		ID:        j.ID,
+		Status:    j.status,
+		SpecHash:  j.Hash,
+		CacheHit:  j.cacheHit,
+		Error:     j.errMsg,
+		ErrorCode: j.errCode,
+		Spec:      j.Spec,
 	}
 	if includeResult && j.status == StatusDone {
 		doc.Result = j.result
@@ -468,6 +623,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		JobsFailed:        s.failed,
 		JobsRejected:      s.rejected,
 		JobsDeduped:       s.deduped,
+		JobsRetried:       s.retried,
+		JobsPanicked:      s.panicked,
 		CacheEntries:      s.cache.Len(),
 		CacheHits:         hits,
 		CacheMisses:       misses,
@@ -480,5 +637,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m.ExperimentLatency[id] = h.Summary()
 	}
 	s.mu.Unlock()
+	m.CircuitBreakers = s.breaker.snapshot()
 	writeJSON(w, http.StatusOK, m)
 }

@@ -17,7 +17,7 @@ import (
 // newTestServer starts a server (with the given runner, or the real
 // experiment engine when runFn is nil) behind httptest and tears both
 // down with the test.
-func newTestServer(t *testing.T, cfg Config, runFn func(*JobSpec) ([]byte, error)) (*Server, *httptest.Server) {
+func newTestServer(t *testing.T, cfg Config, runFn func(context.Context, *JobSpec) ([]byte, error)) (*Server, *httptest.Server) {
 	t.Helper()
 	var s *Server
 	if runFn == nil {
@@ -52,7 +52,9 @@ func submit(t *testing.T, url, spec string, sync bool) (int, *JobStatus, http.He
 		t.Fatal(err)
 	}
 	var doc JobStatus
-	if resp.StatusCode < 400 {
+	// 504 carries a full status doc (a timed-out job), like the 2xx
+	// responses; other error codes carry the error envelope.
+	if resp.StatusCode < 400 || resp.StatusCode == http.StatusGatewayTimeout {
 		if err := json.Unmarshal(body, &doc); err != nil {
 			t.Fatalf("response is not a status doc: %v\n%s", err, body)
 		}
@@ -78,14 +80,14 @@ func getStatus(t *testing.T, url, id string) (int, *JobStatus) {
 }
 
 // fakeRunner returns instantly with spec-derived bytes.
-func fakeRunner(spec *JobSpec) ([]byte, error) {
+func fakeRunner(_ context.Context, spec *JobSpec) ([]byte, error) {
 	return []byte(fmt.Sprintf(`{"schema":"jadebench/v1","scale":%q}`, spec.Scale)), nil
 }
 
 // blockingRunner blocks every run until release closes, signalling
 // each start. Buffers keep signals non-blocking.
-func blockingRunner(started chan struct{}, release chan struct{}) func(*JobSpec) ([]byte, error) {
-	return func(*JobSpec) ([]byte, error) {
+func blockingRunner(started chan struct{}, release chan struct{}) func(context.Context, *JobSpec) ([]byte, error) {
+	return func(context.Context, *JobSpec) ([]byte, error) {
 		started <- struct{}{}
 		<-release
 		return []byte(`{"schema":"jadebench/v1"}`), nil
@@ -332,18 +334,24 @@ func TestMetricz(t *testing.T) {
 func TestJobTimeout(t *testing.T) {
 	release := make(chan struct{})
 	t.Cleanup(func() { close(release) })
-	runFn := func(*JobSpec) ([]byte, error) {
+	runFn := func(context.Context, *JobSpec) ([]byte, error) {
 		<-release
 		return nil, nil
 	}
 	_, ts := newTestServer(t, Config{Workers: 1, JobTimeout: 30 * time.Millisecond}, runFn)
 
-	code, doc, _ := submit(t, ts.URL, `{"experiments":["table1"]}`, true)
-	if code != http.StatusOK {
-		t.Fatalf("code = %d", code)
+	code, doc, hdr := submit(t, ts.URL, `{"experiments":["table1"]}`, true)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("code = %d, want 504", code)
 	}
 	if doc.Status != StatusFailed || !strings.Contains(doc.Error, "timeout") {
 		t.Fatalf("doc = %+v, want failed with timeout error", doc)
+	}
+	if doc.ErrorCode != ErrCodeTimeout {
+		t.Fatalf("error_code = %q, want %q", doc.ErrorCode, ErrCodeTimeout)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("504 without a Retry-After hint")
 	}
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -37,7 +38,7 @@ func TestSingleflightConcurrentIdenticalJobsRunOnce(t *testing.T) {
 	started := make(chan struct{}, 8)
 	release := make(chan struct{})
 	var runs atomic.Int32
-	runFn := func(*JobSpec) ([]byte, error) {
+	runFn := func(context.Context, *JobSpec) ([]byte, error) {
 		runs.Add(1)
 		started <- struct{}{}
 		<-release
@@ -106,7 +107,7 @@ func TestSingleflightConcurrentIdenticalJobsRunOnce(t *testing.T) {
 func TestSingleflightFollowerSharesLeaderFailure(t *testing.T) {
 	started := make(chan struct{}, 8)
 	release := make(chan struct{})
-	runFn := func(*JobSpec) ([]byte, error) {
+	runFn := func(context.Context, *JobSpec) ([]byte, error) {
 		started <- struct{}{}
 		<-release
 		return nil, errRunnerBroken
@@ -145,7 +146,7 @@ func TestSingleflightFollowerSharesLeaderFailure(t *testing.T) {
 // over-deduplication: different canonical hashes never share a flight.
 func TestSingleflightDistinctSpecsStillRunSeparately(t *testing.T) {
 	var runs atomic.Int32
-	runFn := func(*JobSpec) ([]byte, error) {
+	runFn := func(context.Context, *JobSpec) ([]byte, error) {
 		runs.Add(1)
 		return []byte(`{"schema":"jadebench/v1"}`), nil
 	}
