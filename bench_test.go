@@ -96,3 +96,45 @@ func BenchmarkExtensionPortability(b *testing.B) { benchExperiment(b, "extension
 
 func BenchmarkAblationPanels(b *testing.B) { benchExperiment(b, "ablation-panels") }
 func BenchmarkUtilization(b *testing.B)    { benchExperiment(b, "utilization") }
+
+// sweepSpecs is a front-end-dominated sweep: every app on both primary
+// machines at every locality level it supports, work-free, so run time
+// is dominated by building the task graph rather than simulating work.
+// This is the shape of the paper's task-management figures (10/11/20/21).
+func sweepSpecs(b *testing.B) []experiments.RunSpec {
+	b.Helper()
+	var specs []experiments.RunSpec
+	for _, app := range []string{"water", "string", "ocean", "cholesky"} {
+		for _, machine := range []string{"dash", "ipsc"} {
+			for _, level := range []string{"none", "locality", "placement"} {
+				s := experiments.RunSpec{App: app, Machine: machine, Level: level, WorkFree: true}
+				if c := s; c.Canonicalize() != nil {
+					continue // app has no explicit placement
+				}
+				specs = append(specs, s)
+			}
+		}
+	}
+	return specs
+}
+
+func benchSweep(b *testing.B, cache bool) {
+	specs := sweepSpecs(b)
+	experiments.SetGraphCache(cache)
+	defer experiments.SetGraphCache(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range specs {
+			if _, err := s.Execute(experiments.Small); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Graph capture & replay: the same work-free sweep with the task-graph
+// cache on (each app front-end built once, then replayed) vs off
+// (front-ends rebuilt every run). Output is byte-identical either way;
+// the gap is the front-end cost the cache removes.
+func BenchmarkSweepGraphReplay(b *testing.B) { benchSweep(b, true) }
+func BenchmarkSweepGraphDirect(b *testing.B) { benchSweep(b, false) }

@@ -19,13 +19,19 @@ if [ "${1:-}" = "bench" ]; then
         echo "bench: no BENCH_baseline.json, recording only (no gate)" >&2
     fi
     # The tier-1 benchmark set: the event engine and processor hot
-    # paths, and the paper's table experiments end to end. -benchtime
-    # is kept short; the 20% gate absorbs the extra noise.
+    # paths, the paper's table experiments end to end, and the sweep
+    # with and without graph replay (the cached path must stay well
+    # ahead of the direct one). -benchtime is kept short; the 20% gate
+    # absorbs the extra noise.
     {
         go test -run '^$' -bench '^Benchmark(Engine|Processor)' \
             -benchmem -benchtime 0.2s ./internal/sim
         go test -run '^$' -bench '^BenchmarkTable([1-9]|1[0-4])$' \
             -benchmem -benchtime 0.2s .
+        # The sweep pair backs a ratio claim (replay ≈ 2x direct), so
+        # it gets a longer benchtime than the per-table gates.
+        go test -run '^$' -bench '^BenchmarkSweepGraph(Replay|Direct)$' \
+            -benchmem -benchtime 1s .
     } | go run ./internal/tools/benchjson -commit "$commit" -o "$out" $baseline_args
     echo "bench OK: $out"
     exit 0
@@ -51,15 +57,26 @@ go test ./...
 echo "== go test -race (concurrent packages) =="
 # The packages with real goroutine concurrency: the native machine,
 # the runtime that drives it, the jaded server/queue/cache (including
-# the retry/breaker paths), the parallel experiment fan-out, and the
-# fault injector shared by concurrent runs.
-go test -race ./internal/native ./internal/jade ./internal/serve ./internal/experiments ./internal/fault
+# the retry/breaker paths), the parallel experiment fan-out, the
+# graph cache shared by concurrent runs, and the fault injector.
+go test -race ./internal/native ./internal/jade ./internal/jade/graph ./internal/serve ./internal/experiments ./internal/fault
 
 echo "== jadebench -json smoke =="
 # The emitted document must parse and carry the jadebench/v1 keys;
 # jsoncheck avoids a jq/python dependency.
 go run ./cmd/jadebench -experiment table4 -scale small -json |
     go run ./internal/tools/jsoncheck schema scale experiments runs
+
+echo "== jadebench graph-cache smoke =="
+# Replaying cached task graphs must be invisible in the output: the
+# same experiment with the cache on (default) and off must produce
+# byte-identical reports.
+gtmp=$(mktemp -d)
+go run ./cmd/jadebench -experiment fig10 -scale small >"$gtmp/cached.txt"
+go run ./cmd/jadebench -experiment fig10 -scale small -graph-cache=false >"$gtmp/direct.txt"
+cmp "$gtmp/cached.txt" "$gtmp/direct.txt" ||
+    { echo "jadebench: graph replay changed the output" >&2; rm -rf "$gtmp"; exit 1; }
+rm -rf "$gtmp"
 
 echo "== jaded smoke =="
 # Start the server on an ephemeral port, submit the same small sync

@@ -44,6 +44,9 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker pool width for independent runs (0 = GOMAXPROCS, 1 = serial)")
 		faultStr = flag.String("fault", "", "inject deterministic faults into the instrumented runs: "+
 			"comma-separated key=value (seed=N, drop=P, dup=P, linkpct=P, straggle=K, victims=K, invalidate=P); requires -json")
+		graphCache = flag.Bool("graph-cache", true,
+			"replay cached task graphs for work-free runs (build each app front-end once per sweep); "+
+				"disable to rebuild front-ends every run — output is byte-identical either way")
 	)
 	flag.Parse()
 
@@ -52,6 +55,7 @@ func main() {
 		os.Exit(2)
 	}
 	experiments.SetParallelism(*parallel)
+	experiments.SetGraphCache(*graphCache)
 
 	if *list {
 		for _, id := range experiments.IDs() {

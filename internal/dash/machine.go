@@ -36,9 +36,24 @@ type Machine struct {
 	running    []bool
 	idle       []bool
 	dispatchAt []sim.Time // earliest pending dispatch event, or -1
+	// dispatchFns are the per-processor dispatch event handlers,
+	// allocated once so poke (the hottest scheduling path) enqueues an
+	// interned closure instead of building one per event.
+	dispatchFns []func()
+	// execDoneFns are the per-processor task-completion handlers, and
+	// curTask the task each one reports on: a processor runs one task at
+	// a time, so interning the closure is safe and saves one allocation
+	// per executed task.
+	execDoneFns []func(start, end sim.Time)
+	curTask     []*jade.Task
 
-	createdDone map[jade.TaskID]sim.Time
-	lastWriter  map[jade.ObjectID]writerInfo
+	// createdDone is indexed by task ID and lastWriter by object ID
+	// (both dense, in creation/allocation order). A zero-valued
+	// writerInfo (dirty=false) is indistinguishable from "never
+	// written", which is exactly the semantics the dirty-line check
+	// needs.
+	createdDone []sim.Time
+	lastWriter  []writerInfo
 
 	// StealFromHead flips the steal path to take the first task of
 	// the first object task queue (ablation; see DESIGN.md §6).
@@ -72,22 +87,41 @@ func New(cfg Config) *Machine {
 		panic("dash: need at least one processor")
 	}
 	m := &Machine{
-		cfg:         cfg,
-		eng:         sim.New(),
-		queues:      make([]*procQueue, cfg.Procs),
-		caches:      make([]*cache, cfg.Procs),
-		running:     make([]bool, cfg.Procs),
-		idle:        make([]bool, cfg.Procs),
-		dispatchAt:  make([]sim.Time, cfg.Procs),
-		createdDone: make(map[jade.TaskID]sim.Time),
-		lastWriter:  make(map[jade.ObjectID]writerInfo),
+		cfg:        cfg,
+		eng:        sim.New(),
+		queues:     make([]*procQueue, cfg.Procs),
+		caches:     make([]*cache, cfg.Procs),
+		running:    make([]bool, cfg.Procs),
+		idle:       make([]bool, cfg.Procs),
+		dispatchAt: make([]sim.Time, cfg.Procs),
 	}
+	m.dispatchFns = make([]func(), cfg.Procs)
+	m.execDoneFns = make([]func(start, end sim.Time), cfg.Procs)
+	m.curTask = make([]*jade.Task, cfg.Procs)
 	for i := 0; i < cfg.Procs; i++ {
 		m.procs = append(m.procs, sim.NewProcessor(m.eng))
 		m.queues[i] = newProcQueue()
 		m.caches[i] = newCache(cfg.CacheBytes)
 		m.idle[i] = true
 		m.dispatchAt[i] = -1
+		p := i
+		m.dispatchFns[i] = func() {
+			// Fires at the scheduled time, so Now() is the `at` the
+			// event was enqueued with.
+			if m.dispatchAt[p] == m.eng.Now() {
+				m.dispatchAt[p] = -1
+			}
+			m.dispatch(p)
+		}
+		m.execDoneFns[i] = func(start, end sim.Time) {
+			t := m.curTask[p]
+			m.curTask[p] = nil
+			m.running[p] = false
+			m.traceEvent(float64(end), trace.ExecEnd, int(t.ID), p, "")
+			m.Obs.Span(p, obsv.StateTask, float64(start), float64(end))
+			m.rt.TaskDone(t)
+			m.dispatch(p)
+		}
 	}
 	m.stats.Procs = cfg.Procs
 	return m
@@ -103,8 +137,11 @@ func (m *Machine) Processors() int { return m.cfg.Procs }
 func (m *Machine) Config() Config { return m.cfg }
 
 // ObjectAllocated implements jade.Platform. Placement is entirely
-// captured by Object.Home.
-func (m *Machine) ObjectAllocated(o *jade.Object) {}
+// captured by Object.Home; the machine only extends its per-object
+// last-writer table.
+func (m *Machine) ObjectAllocated(o *jade.Object) {
+	m.lastWriter = append(m.lastWriter, writerInfo{})
+}
 
 // submitMgmt charges d seconds of task-management work to the main
 // processor, recording a mgmt span when observability is on.
@@ -124,7 +161,7 @@ func (m *Machine) submitMgmt(at sim.Time, d float64) sim.Time {
 func (m *Machine) TaskCreated(t *jade.Task, enabled bool) {
 	done := m.submitMgmt(m.eng.Now(), m.cfg.TaskCreateSec)
 	m.stats.TaskMgmtTime += m.cfg.TaskCreateSec
-	m.createdDone[t.ID] = done
+	m.createdDone = append(m.createdDone, done)
 	m.traceEvent(float64(done), trace.TaskCreated, int(t.ID), 0, "")
 	if enabled {
 		m.eng.At(done, func() { m.enqueue(t) })
@@ -249,12 +286,7 @@ func (m *Machine) poke(p int, delay sim.Time) {
 		return
 	}
 	m.dispatchAt[p] = at
-	m.eng.At(at, func() {
-		if m.dispatchAt[p] == at {
-			m.dispatchAt[p] = -1
-		}
-		m.dispatch(p)
-	})
+	m.eng.At(at, m.dispatchFns[p])
 }
 
 func (m *Machine) pokeAllIdle(delay sim.Time) {
@@ -345,13 +377,11 @@ func (m *Machine) execute(p int, t *jade.Task, stole bool) {
 		return
 	}
 	m.rt.RunBody(t)
-	m.procs[p].Submit(m.eng.Now(), sim.Time(mgmt+app), func(start, end sim.Time) {
-		m.running[p] = false
-		m.traceEvent(float64(end), trace.ExecEnd, int(t.ID), p, "")
-		m.Obs.Span(p, obsv.StateTask, float64(start), float64(end))
-		m.rt.TaskDone(t)
-		m.dispatch(p)
-	})
+	// One task runs per processor at a time (the running flag guards
+	// dispatch), so the completion handler is interned per processor and
+	// reads the task from curTask instead of capturing it.
+	m.curTask[p] = t
+	m.procs[p].Submit(m.eng.Now(), sim.Time(mgmt+app), m.execDoneFns[p])
 }
 
 // traceEvent records an event when tracing is enabled.
@@ -431,8 +461,8 @@ func (m *Machine) accessCost(p int, a jade.Access) float64 {
 		cycles = m.cfg.CacheHitCycles
 		c.touch(o)
 	default:
-		lw, hasLW := m.lastWriter[o.ID]
-		dirtyElsewhere := hasLW && lw.dirty && lw.version == a.RequiredVersion &&
+		lw := m.lastWriter[o.ID]
+		dirtyElsewhere := lw.dirty && lw.version == a.RequiredVersion &&
 			m.cfg.cluster(lw.proc) != m.cfg.cluster(p)
 		switch {
 		case dirtyElsewhere:

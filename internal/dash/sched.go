@@ -3,25 +3,34 @@ package dash
 import "repro/internal/jade"
 
 // objQueue is an object task queue (§3.2.1): the FIFO of enabled tasks
-// whose locality object is obj.
+// whose locality object is obj. head indexes the first live task, so
+// popping reuses the slice capacity instead of leaking it one element
+// per front-reslice.
 type objQueue struct {
 	obj   *jade.Object
 	tasks []*jade.Task
+	head  int
 }
+
+// size is the number of live tasks in the queue.
+func (o *objQueue) size() int { return len(o.tasks) - o.head }
 
 // procQueue is one processor's task queue: a FIFO of non-empty object
 // task queues, plus a FIFO of explicitly placed tasks (which are never
 // stolen).
 type procQueue struct {
-	placed []*jade.Task
-	otqs   []*objQueue
-	byObj  map[jade.ObjectID]*objQueue
+	placed     []*jade.Task
+	placedHead int
+	otqs       []*objQueue
+	// byObj is indexed by object ID (dense, allocation order); nil
+	// entries are objects this processor has no queue for yet.
+	byObj []*objQueue
 	// count of schedulable (stealable) tasks across otqs.
 	count int
 }
 
 func newProcQueue() *procQueue {
-	return &procQueue{byObj: make(map[jade.ObjectID]*objQueue)}
+	return &procQueue{}
 }
 
 // pushPlaced appends an explicitly placed task.
@@ -30,12 +39,17 @@ func (q *procQueue) pushPlaced(t *jade.Task) { q.placed = append(q.placed, t) }
 // push inserts a task into the object task queue of its locality
 // object, creating and appending the OTQ if it was empty.
 func (q *procQueue) push(t *jade.Task, obj *jade.Object) {
-	otq, ok := q.byObj[obj.ID]
-	if !ok {
+	for len(q.byObj) <= int(obj.ID) {
+		q.byObj = append(q.byObj, nil)
+	}
+	otq := q.byObj[obj.ID]
+	if otq == nil {
 		otq = &objQueue{obj: obj}
 		q.byObj[obj.ID] = otq
 	}
-	if len(otq.tasks) == 0 {
+	if otq.size() == 0 {
+		otq.tasks = otq.tasks[:0]
+		otq.head = 0
 		q.otqs = append(q.otqs, otq)
 	}
 	otq.tasks = append(otq.tasks, t)
@@ -45,21 +59,25 @@ func (q *procQueue) push(t *jade.Task, obj *jade.Object) {
 // popFirst removes and returns the first task of the first object task
 // queue (the dispatch path), or the first placed task if any.
 func (q *procQueue) popFirst() *jade.Task {
-	if len(q.placed) > 0 {
-		t := q.placed[0]
-		q.placed = q.placed[1:]
+	if q.placedHead < len(q.placed) {
+		t := q.placed[q.placedHead]
+		q.placedHead++
+		if q.placedHead == len(q.placed) {
+			q.placed = q.placed[:0]
+			q.placedHead = 0
+		}
 		return t
 	}
 	for len(q.otqs) > 0 {
 		otq := q.otqs[0]
-		if len(otq.tasks) == 0 {
+		if otq.size() == 0 {
 			q.otqs = q.otqs[1:]
 			continue
 		}
-		t := otq.tasks[0]
-		otq.tasks = otq.tasks[1:]
+		t := otq.tasks[otq.head]
+		otq.head++
 		q.count--
-		if len(otq.tasks) == 0 {
+		if otq.size() == 0 {
 			q.otqs = q.otqs[1:]
 		}
 		return t
@@ -72,14 +90,14 @@ func (q *procQueue) popFirst() *jade.Task {
 func (q *procQueue) stealLast() *jade.Task {
 	for len(q.otqs) > 0 {
 		otq := q.otqs[len(q.otqs)-1]
-		if len(otq.tasks) == 0 {
+		if otq.size() == 0 {
 			q.otqs = q.otqs[:len(q.otqs)-1]
 			continue
 		}
 		t := otq.tasks[len(otq.tasks)-1]
 		otq.tasks = otq.tasks[:len(otq.tasks)-1]
 		q.count--
-		if len(otq.tasks) == 0 {
+		if otq.size() == 0 {
 			q.otqs = q.otqs[:len(q.otqs)-1]
 		}
 		return t
@@ -94,14 +112,14 @@ func (q *procQueue) stealFirst() *jade.Task {
 	// Identical to popFirst but skipping placed tasks.
 	for len(q.otqs) > 0 {
 		otq := q.otqs[0]
-		if len(otq.tasks) == 0 {
+		if otq.size() == 0 {
 			q.otqs = q.otqs[1:]
 			continue
 		}
-		t := otq.tasks[0]
-		otq.tasks = otq.tasks[1:]
+		t := otq.tasks[otq.head]
+		otq.head++
 		q.count--
-		if len(otq.tasks) == 0 {
+		if otq.size() == 0 {
 			q.otqs = q.otqs[1:]
 		}
 		return t
@@ -110,4 +128,4 @@ func (q *procQueue) stealFirst() *jade.Task {
 }
 
 // empty reports whether the queue holds no tasks at all.
-func (q *procQueue) empty() bool { return q.count == 0 && len(q.placed) == 0 }
+func (q *procQueue) empty() bool { return q.count == 0 && q.placedHead == len(q.placed) }

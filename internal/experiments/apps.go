@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"sync"
-
 	"repro/internal/apps/cholesky"
 	"repro/internal/apps/ocean"
 	"repro/internal/apps/tomo"
@@ -53,21 +51,12 @@ func choleskyCfg(scale Scale) cholesky.Config {
 
 // The Cholesky symbolic factorization is shared across runs of a
 // scale, mirroring the paper's exclusion of the symbolic phase from
-// the timings.
-var (
-	choleskyMu    sync.Mutex
-	choleskyCache = map[Scale]*cholesky.Workload{}
-)
-
+// the timings. It lives in the same bounded cache as the captured
+// task graphs (see cache.go) — one caching mechanism, not two.
 func choleskyWorkload(scale Scale) *cholesky.Workload {
-	choleskyMu.Lock()
-	defer choleskyMu.Unlock()
-	if w, ok := choleskyCache[scale]; ok {
-		return w
-	}
-	w := cholesky.NewWorkload(choleskyCfg(scale))
-	choleskyCache[scale] = w
-	return w
+	return sharedCache.get("cholesky-workload/"+string(scale), func() any {
+		return cholesky.NewWorkload(choleskyCfg(scale))
+	}).(*cholesky.Workload)
 }
 
 var waterApp = &appSpec{

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// withGraphCache runs f with the replay path forced on or off,
+// restoring the default afterwards.
+func withGraphCache(on bool, f func()) {
+	prev := GraphCacheEnabled()
+	SetGraphCache(on)
+	defer SetGraphCache(prev)
+	f()
+}
+
+func scaleReportJSON(t *testing.T, s RunSpec, scale Scale) []byte {
+	t.Helper()
+	r, err := s.Execute(scale)
+	if err != nil {
+		t.Fatalf("Execute(%+v): %v", s, err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// levelsFor mirrors the sweep drivers: every app runs at none and
+// locality; apps with explicit placement add the placement level.
+func levelsFor(app string) []string {
+	levels := []string{LevelNone, LevelLocality}
+	if appKeys[app].hasPlacement {
+		levels = append(levels, LevelPlacement)
+	}
+	return levels
+}
+
+// TestGraphReplayByteIdentical is the core acceptance test: for every
+// app, scale, and level on both primary machines, a work-free run
+// served from the graph cache must be byte-identical to a direct
+// front-end build.
+func TestGraphReplayByteIdentical(t *testing.T) {
+	sharedCache.reset()
+	for _, scale := range []Scale{Small, PaperScale} {
+		for _, app := range []string{"water", "string", "ocean", "cholesky"} {
+			for _, machine := range []string{"dash", "ipsc"} {
+				for _, level := range levelsFor(app) {
+					spec := RunSpec{App: app, Machine: machine, Procs: 8, Level: level, WorkFree: true, Observe: true}
+					var direct, replayed []byte
+					withGraphCache(false, func() { direct = scaleReportJSON(t, spec, scale) })
+					withGraphCache(true, func() { replayed = scaleReportJSON(t, spec, scale) })
+					if !bytes.Equal(direct, replayed) {
+						t.Errorf("%s/%s/%s/%s: cached-graph run differs from direct run", scale, app, machine, level)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Fault injection lives in the machine models, so a faulted run must
+// replay the same clean graph — and a capture that happens to occur
+// during a faulted run must not be perturbed by the faults.
+func TestGraphReplayFaultedRuns(t *testing.T) {
+	specs := []RunSpec{
+		{App: "water", Machine: "ipsc", Procs: 8, WorkFree: true, Observe: true,
+			Fault: &fault.Spec{Seed: 42, DropPct: 0.1, DupPct: 0.05, DegradedLinkPct: 0.25, Stragglers: 2}},
+		{App: "cholesky", Machine: "dash", Procs: 8, WorkFree: true, Observe: true,
+			Fault: &fault.Spec{Seed: 7, VictimClusters: 1, InvalidatePct: 0.2}},
+	}
+	for _, spec := range specs {
+		var direct, replayed []byte
+		withGraphCache(false, func() { direct = scaleReportJSON(t, spec, Small) })
+		withGraphCache(true, func() { replayed = scaleReportJSON(t, spec, Small) })
+		if !bytes.Equal(direct, replayed) {
+			t.Errorf("%s/%s faulted: cached-graph run differs from direct run", spec.App, spec.Machine)
+		}
+
+		// Capture under fault: empty the cache so the faulted run
+		// captures the graph, then check a healthy run replaying that
+		// same graph still matches a healthy direct build.
+		healthy := spec
+		healthy.Fault = nil
+		var healthyDirect, healthyReplayed []byte
+		withGraphCache(false, func() { healthyDirect = scaleReportJSON(t, healthy, Small) })
+		withGraphCache(true, func() {
+			sharedCache.reset()
+			scaleReportJSON(t, spec, Small) // faulted run populates the cache
+			healthyReplayed = scaleReportJSON(t, healthy, Small)
+		})
+		if !bytes.Equal(healthyDirect, healthyReplayed) {
+			t.Errorf("%s/%s: capture taken during a faulted run was perturbed by the faults", spec.App, spec.Machine)
+		}
+	}
+}
+
+// TestDefaultRunSpecsByteIdenticalWithCache pins the acceptance
+// criterion for the standard report: cached-graph sweeps produce
+// byte-identical documents for all DefaultRunSpecs (which fall back to
+// direct execution — they carry bodies) plus their work-free variants
+// (which replay).
+func TestDefaultRunSpecsByteIdenticalWithCache(t *testing.T) {
+	specs := DefaultRunSpecs()
+	for _, s := range DefaultRunSpecs() {
+		s.WorkFree = true
+		specs = append(specs, s)
+	}
+	build := func() []byte {
+		rep, err := BuildReportWithRuns(nil, specs, Small)
+		if err != nil {
+			t.Fatalf("BuildReportWithRuns: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+	var direct, cached []byte
+	withGraphCache(false, func() { direct = build() })
+	withGraphCache(true, func() { cached = build() })
+	if !bytes.Equal(direct, cached) {
+		t.Fatal("jadebench report differs between cached-graph and direct execution")
+	}
+}
+
+// The front-end must be built once per (app, scale, place, procs), no
+// matter how many sweep cells or goroutines ask for it.
+func TestGraphCacheFillOnce(t *testing.T) {
+	c := newRunCache(8)
+	var builds int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	vals := make([]any, 32)
+	for i := range vals {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i] = c.get("k", func() any {
+				mu.Lock()
+				builds++
+				mu.Unlock()
+				return new(int)
+			})
+		}(i)
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Fatalf("build ran %d times for one key, want 1", builds)
+	}
+	for i, v := range vals {
+		if v != vals[0] {
+			t.Fatalf("goroutine %d got a different value", i)
+		}
+	}
+	st := c.stats()
+	if st.Misses != 1 || st.Hits != 31 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 miss, 31 hits, 1 entry", st)
+	}
+}
+
+func TestGraphCacheBounded(t *testing.T) {
+	c := newRunCache(4)
+	for i := 0; i < 10; i++ {
+		c.get(fmt.Sprintf("k%d", i), func() any { return i })
+	}
+	if st := c.stats(); st.Entries != 4 {
+		t.Fatalf("cache holds %d entries, want capacity 4", st.Entries)
+	}
+	// LRU: the most recent keys survive, the oldest were evicted.
+	before := c.stats()
+	c.get("k9", func() any { t.Fatal("k9 was evicted"); return nil })
+	if st := c.stats(); st.Hits != before.Hits+1 {
+		t.Fatalf("k9 lookup was not a hit")
+	}
+	rebuilt := false
+	c.get("k0", func() any { rebuilt = true; return 0 })
+	if !rebuilt {
+		t.Fatal("k0 survived past the capacity bound")
+	}
+}
+
+// Concurrent sweep cells sharing one graph: the canonical parallel
+// fan-out path, run under -race in CI.
+func TestGraphCacheConcurrentRuns(t *testing.T) {
+	sharedCache.reset()
+	spec := RunSpec{App: "ocean", Machine: "dash", Procs: 8, Level: LevelPlacement, WorkFree: true}
+	want := scaleReportJSON(t, spec, Small)
+	var wg sync.WaitGroup
+	got := make([][]byte, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := spec.Execute(Small)
+			if err != nil {
+				panic(err)
+			}
+			var buf bytes.Buffer
+			if err := r.WriteJSON(&buf); err != nil {
+				panic(err)
+			}
+			got[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if !bytes.Equal(want, got[i]) {
+			t.Fatalf("concurrent cached run %d diverged", i)
+		}
+	}
+	if st := GraphCacheStats(); st.Hits == 0 {
+		t.Fatalf("concurrent runs never hit the cache: %+v", st)
+	}
+}
+
+// The Cholesky symbolic workload now lives in the shared cache; runs
+// at one scale must keep sharing a single instance.
+func TestCholeskyWorkloadShared(t *testing.T) {
+	if choleskyWorkload(Small) != choleskyWorkload(Small) {
+		t.Fatal("choleskyWorkload built two instances for one scale")
+	}
+}

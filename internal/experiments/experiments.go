@@ -113,12 +113,11 @@ func Run(id string, scale Scale) (*Result, error) {
 
 // ---- shared runners ----
 
-// dashRun executes one app on the DASH model.
+// dashRun executes one app on the DASH model (work-free runs replay
+// the cached task graph; see runApp).
 func dashRun(a *appSpec, scale Scale, procs int, level dash.LocalityLevel, workFree bool) *metrics.Run {
 	m := dash.New(dash.DefaultConfig(procs, level))
-	rt := jade.New(m, jade.Config{WorkFree: workFree})
-	a.run(rt, scale, level == dash.TaskPlacement && a.hasPlacement)
-	return rt.Finish()
+	return runApp(m, jade.Config{WorkFree: workFree}, a, scale, level == dash.TaskPlacement && a.hasPlacement)
 }
 
 // ipscRun executes one app on the iPSC model with a config hook.
@@ -128,9 +127,7 @@ func ipscRun(a *appSpec, scale Scale, procs int, level ipsc.LocalityLevel, workF
 		mod(&cfg)
 	}
 	m := ipsc.New(cfg)
-	rt := jade.New(m, jade.Config{WorkFree: workFree})
-	a.run(rt, scale, level == ipsc.TaskPlacement && a.hasPlacement)
-	return rt.Finish()
+	return runApp(m, jade.Config{WorkFree: workFree}, a, scale, level == ipsc.TaskPlacement && a.hasPlacement)
 }
 
 // dashLevels returns the locality levels an app is evaluated at on
@@ -188,9 +185,7 @@ func clusterRun(a *appSpec, scale Scale, stations int, speedAware bool) *metrics
 	cfg := cluster.DefaultConfig(stations)
 	cfg.SpeedAware = speedAware
 	m := cluster.New(cfg)
-	rt := jade.New(m, jade.Config{})
-	a.run(rt, scale, false)
-	return rt.Finish()
+	return runApp(m, jade.Config{}, a, scale, false)
 }
 
 // newDashRuntime binds a fresh runtime to a pre-configured DASH
@@ -203,7 +198,5 @@ func newDashRuntime(m *dash.Machine) *jade.Runtime {
 // locality-object policy.
 func ipscRunWithPolicy(a *appSpec, scale Scale, procs int, policy int) *metrics.Run {
 	m := ipsc.New(ipsc.DefaultConfig(procs, ipsc.Locality))
-	rt := jade.New(m, jade.Config{Locality: jade.LocalityPolicy(policy)})
-	a.run(rt, scale, false)
-	return rt.Finish()
+	return runApp(m, jade.Config{Locality: jade.LocalityPolicy(policy)}, a, scale, false)
 }

@@ -216,7 +216,10 @@ func (s RunSpec) Execute(scale Scale) (*metrics.Run, error) {
 	if s.Fault != nil {
 		inj = fault.NewInjector(*s.Fault, s.Procs)
 	}
-	var rt *jade.Runtime
+	// Fault injection and observation live in the machine, not the
+	// task graph, so faulted and observed runs replay cached graphs
+	// like any other (runApp); capture itself always runs clean.
+	var p jade.Platform
 	switch s.Machine {
 	case "dash":
 		m := dash.New(dash.DefaultConfig(s.Procs, dashLevel(s.Level)))
@@ -224,7 +227,7 @@ func (s RunSpec) Execute(scale Scale) (*metrics.Run, error) {
 		if s.Observe {
 			m.Obs = obsv.New(s.Procs)
 		}
-		rt = jade.New(m, jade.Config{WorkFree: s.WorkFree})
+		p = m
 	case "ipsc":
 		cfg := ipsc.DefaultConfig(s.Procs, ipscLevel(s.Level))
 		if s.AdaptiveBroadcast != nil {
@@ -243,7 +246,7 @@ func (s RunSpec) Execute(scale Scale) (*metrics.Run, error) {
 		if s.Observe {
 			m.Obs = obsv.New(s.Procs)
 		}
-		rt = jade.New(m, jade.Config{WorkFree: s.WorkFree})
+		p = m
 	case "cluster":
 		cfg := cluster.DefaultConfig(s.Procs)
 		cfg.SpeedAware = s.SpeedAware
@@ -251,10 +254,9 @@ func (s RunSpec) Execute(scale Scale) (*metrics.Run, error) {
 		if s.Observe {
 			m.Obs = obsv.New(s.Procs)
 		}
-		rt = jade.New(m, jade.Config{WorkFree: s.WorkFree})
+		p = m
 	}
-	a.run(rt, scale, place)
-	return rt.Finish(), nil
+	return runApp(p, jade.Config{WorkFree: s.WorkFree}, a, scale, place), nil
 }
 
 // Instrumented executes the spec and wraps the result in the

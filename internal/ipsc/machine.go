@@ -2,6 +2,7 @@ package ipsc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/fault"
 	"repro/internal/jade"
@@ -19,11 +20,20 @@ import (
 type node struct {
 	cpu *sim.Processor
 	nic *sim.Processor
-	// store maps object ID to the version this node holds a copy of.
-	store map[jade.ObjectID]jade.Version
+	// store holds, per object ID, the version this node has a copy of,
+	// or -1 for none. Object IDs are dense, so a slice indexed by ID
+	// replaces the former map on this hot path.
+	store []jade.Version
 	// load is the number of tasks assigned and not yet completed
 	// (maintained by the scheduler on node 0).
 	load int
+	// inflight is the FIFO of tasks whose execution is submitted on
+	// cpu. The resource's free time only moves forward, and equal-time
+	// events fire in scheduling order, so completions pop in exactly
+	// the order executions were pushed — which lets the completion
+	// handler be interned per node instead of allocated per task.
+	inflight     []*taskState
+	inflightHead int
 }
 
 // taskState is the scheduler/communicator bookkeeping for one task.
@@ -42,12 +52,23 @@ type taskState struct {
 	releasedEarly map[jade.ObjectID]bool
 }
 
+// procSet is a bitmask set of processor IDs. New caps Procs at 64 so
+// one word always suffices; producing a version resets the set with a
+// copy instead of a fresh map allocation (the old per-produce map was
+// the dominant allocation in work-free sweeps).
+type procSet uint64
+
+func oneProc(p int) procSet      { return procSet(1) << uint(p) }
+func (s procSet) has(p int) bool { return s&oneProc(p) != 0 }
+func (s *procSet) add(p int)     { *s |= oneProc(p) }
+func (s procSet) count() int     { return bits.OnesCount64(uint64(s)) }
+
 // objState tracks ownership, the access set for adaptive-broadcast
 // detection, and broadcast mode for one object.
 type objState struct {
 	owner      int
 	version    jade.Version
-	accessedBy map[int]bool
+	accessedBy procSet
 	broadcast  bool
 }
 
@@ -59,14 +80,29 @@ type Machine struct {
 	rt  *jade.Runtime
 
 	nodes []*node
-	objs  map[jade.ObjectID]*objState
+	// objs is indexed by object ID (dense, allocation order).
+	objs []*objState
 
 	// pool holds enabled tasks awaiting assignment because every
 	// processor is at its target load (§3.4.3).
 	pool []*taskState
 
-	createdDone map[jade.TaskID]sim.Time
+	// createdDone is indexed by task ID (dense, creation order).
+	createdDone []sim.Time
 	fcfsNext    int // rotating pointer for NoLocality FCFS
+	// tsSlab is a chunked arena for taskState values (one per task;
+	// pointers into a chunk stay stable because chunks never grow).
+	tsSlab []taskState
+
+	// notifyFns and completeDoneFns are the per-processor completion
+	// handlers (the p→main message delivery and the main-CPU handler it
+	// schedules). They capture only the processor index, so interning
+	// them saves two allocations per completed task.
+	notifyFns       []func()
+	completeDoneFns []func(start, end sim.Time)
+	// execDoneFns are the per-node execution-completion handlers; the
+	// finished task comes from the node's inflight FIFO.
+	execDoneFns []func(start, end sim.Time)
 
 	// Trace, when non-nil, records scheduling, communication and
 	// execution events.
@@ -94,21 +130,47 @@ func New(cfg Config) *Machine {
 	if cfg.Procs < 1 {
 		panic("ipsc: need at least one processor")
 	}
+	if cfg.Procs > 64 {
+		panic("ipsc: at most 64 processors (procSet is one word)")
+	}
 	if cfg.TargetTasks < 1 {
 		cfg.TargetTasks = 1
 	}
 	m := &Machine{
-		cfg:         cfg,
-		eng:         sim.New(),
-		objs:        make(map[jade.ObjectID]*objState),
-		createdDone: make(map[jade.TaskID]sim.Time),
+		cfg: cfg,
+		eng: sim.New(),
 	}
+	m.notifyFns = make([]func(), cfg.Procs)
+	m.completeDoneFns = make([]func(start, end sim.Time), cfg.Procs)
+	m.execDoneFns = make([]func(start, end sim.Time), cfg.Procs)
 	for i := 0; i < cfg.Procs; i++ {
 		m.nodes = append(m.nodes, &node{
-			cpu:   sim.NewProcessor(m.eng),
-			nic:   sim.NewProcessor(m.eng),
-			store: make(map[jade.ObjectID]jade.Version),
+			cpu: sim.NewProcessor(m.eng),
+			nic: sim.NewProcessor(m.eng),
 		})
+		p := i
+		m.completeDoneFns[i] = func(start, end sim.Time) {
+			m.Obs.Span(0, obsv.StateMgmt, float64(start), float64(end))
+			m.nodes[p].load--
+			m.drainPool(p)
+		}
+		m.notifyFns[i] = func() {
+			m.stats.TaskMgmtTime += m.cfg.CompleteHandleSec
+			m.nodes[0].cpu.Submit(m.eng.Now(), sim.Time(m.cfg.CompleteHandleSec), m.completeDoneFns[p])
+		}
+		m.execDoneFns[i] = func(start, end sim.Time) {
+			n := m.nodes[p]
+			ts := n.inflight[n.inflightHead]
+			n.inflightHead++
+			if n.inflightHead == len(n.inflight) {
+				n.inflight = n.inflight[:0]
+				n.inflightHead = 0
+			}
+			m.traceEvent(float64(start), trace.ExecStart, int(ts.t.ID), p, "")
+			m.traceEvent(float64(end), trace.ExecEnd, int(ts.t.ID), p, "")
+			m.Obs.Span(p, obsv.StateTask, float64(start), float64(end))
+			m.completed(ts)
+		}
 	}
 	m.stats.Procs = cfg.Procs
 	return m
@@ -129,7 +191,10 @@ func (m *Machine) Config() Config { return m.cfg }
 // costs Panel Cholesky its first-touch locality on the iPSC, Figure
 // 15).
 func (m *Machine) ObjectAllocated(o *jade.Object) {
-	m.objs[o.ID] = &objState{owner: 0, version: 0, accessedBy: map[int]bool{0: true}}
+	m.objs = append(m.objs, &objState{owner: 0, version: 0, accessedBy: oneProc(0)})
+	for _, n := range m.nodes {
+		n.store = append(n.store, -1)
+	}
 	m.nodes[0].store[o.ID] = 0
 }
 
@@ -149,7 +214,7 @@ func (m *Machine) submitMgmt(at sim.Time, d float64) sim.Time {
 func (m *Machine) TaskCreated(t *jade.Task, enabled bool) {
 	done := m.submitMgmt(m.eng.Now(), m.cfg.TaskCreateSec)
 	m.stats.TaskMgmtTime += m.cfg.TaskCreateSec
-	m.createdDone[t.ID] = done
+	m.createdDone = append(m.createdDone, done)
 	m.traceEvent(float64(done), trace.TaskCreated, int(t.ID), 0, "")
 	if enabled {
 		m.eng.At(done, func() { m.schedule(t) })
@@ -262,7 +327,12 @@ func (m *Machine) cpuFactor(p int) float64 {
 // schedule runs the centralized scheduling decision on the main
 // processor for one enabled task (§3.4.3).
 func (m *Machine) schedule(t *jade.Task) {
-	ts := &taskState{t: t, target: m.targetOf(t), proc: -1}
+	if len(m.tsSlab) == cap(m.tsSlab) {
+		m.tsSlab = make([]taskState, 0, 256)
+	}
+	m.tsSlab = m.tsSlab[:len(m.tsSlab)+1]
+	ts := &m.tsSlab[len(m.tsSlab)-1]
+	*ts = taskState{t: t, target: m.targetOf(t), proc: -1}
 	var p int
 	switch {
 	case m.cfg.Level == TaskPlacement && t.Placed >= 0:
@@ -366,7 +436,7 @@ func (m *Machine) taskArrived(ts *taskState) {
 			if !a.Reads() {
 				continue
 			}
-			if v, ok := m.nodes[p].store[a.Obj.ID]; ok && v == a.RequiredVersion {
+			if m.nodes[p].store[a.Obj.ID] == a.RequiredVersion {
 				m.noteAccess(a.Obj.ID, a.RequiredVersion, p)
 				continue
 			}
@@ -457,8 +527,8 @@ func (m *Machine) noteAccess(id jade.ObjectID, v jade.Version, p int) {
 	if st.version != v {
 		return // a stale access; only the current version's set counts
 	}
-	st.accessedBy[p] = true
-	if m.cfg.AdaptiveBroadcast && !st.broadcast && len(st.accessedBy) == m.cfg.Procs {
+	st.accessedBy.add(p)
+	if m.cfg.AdaptiveBroadcast && !st.broadcast && st.accessedBy.count() == m.cfg.Procs {
 		st.broadcast = true
 	}
 }
@@ -481,12 +551,9 @@ func (m *Machine) ready(ts *taskState) {
 		return
 	}
 	m.rt.RunBody(ts.t)
-	m.nodes[p].cpu.Submit(m.eng.Now(), sim.Time(m.cfg.DispatchSec+work), func(start, end sim.Time) {
-		m.traceEvent(float64(start), trace.ExecStart, int(ts.t.ID), p, "")
-		m.traceEvent(float64(end), trace.ExecEnd, int(ts.t.ID), p, "")
-		m.Obs.Span(p, obsv.StateTask, float64(start), float64(end))
-		m.completed(ts)
-	})
+	n := m.nodes[p]
+	n.inflight = append(n.inflight, ts)
+	n.cpu.Submit(m.eng.Now(), sim.Time(m.cfg.DispatchSec+work), m.execDoneFns[p])
 }
 
 // traceEvent records an event when tracing is enabled.
@@ -546,20 +613,14 @@ func (m *Machine) completed(ts *taskState) {
 	m.rt.TaskDone(ts.t)
 
 	// Completion message p → main; the handler decrements the load
-	// and assigns pooled tasks (preferring ones targeting p).
-	notify := func() {
-		m.stats.TaskMgmtTime += m.cfg.CompleteHandleSec
-		m.nodes[0].cpu.Submit(m.eng.Now(), sim.Time(m.cfg.CompleteHandleSec), func(start, end sim.Time) {
-			m.Obs.Span(0, obsv.StateMgmt, float64(start), float64(end))
-			m.nodes[p].load--
-			m.drainPool(p)
-		})
-	}
+	// and assigns pooled tasks (preferring ones targeting p). Both the
+	// delivery callback and the main-CPU handler are interned per
+	// processor (they capture nothing task-specific).
 	if p == 0 {
-		notify()
+		m.notifyFns[0]()
 		return
 	}
-	m.send(m.eng.Now(), p, 0, m.cfg.CompletionBytes, notify)
+	m.send(m.eng.Now(), p, 0, m.cfg.CompletionBytes, m.notifyFns[p])
 }
 
 // produce installs a new version of an object owned by processor p,
@@ -571,7 +632,7 @@ func (m *Machine) produce(o *jade.Object, v jade.Version, p int) {
 	prevReaders := st.accessedBy
 	st.owner = p
 	st.version = v
-	st.accessedBy = map[int]bool{p: true}
+	st.accessedBy = oneProc(p)
 	m.nodes[p].store[o.ID] = v
 	if m.rt.Config().WorkFree {
 		return
@@ -616,11 +677,11 @@ func (m *Machine) produce(o *jade.Object, v jade.Version, p int) {
 // point-to-point send serialized on the producer's NIC; a consumer
 // that never reads the version again makes the transfer pure waste,
 // which is exactly how the protocol degrades irregular applications.
-func (m *Machine) eagerUpdate(o *jade.Object, v jade.Version, p int, readers map[int]bool) {
+func (m *Machine) eagerUpdate(o *jade.Object, v jade.Version, p int, readers procSet) {
 	st := m.objs[o.ID]
 	// Deterministic order.
 	for q := 0; q < m.cfg.Procs; q++ {
-		if q == p || !readers[q] {
+		if q == p || !readers.has(q) {
 			continue
 		}
 		q := q
@@ -687,7 +748,7 @@ func (m *Machine) MainTouches(accs []jade.Access) {
 		o := a.Obj
 		st := m.objs[o.ID]
 		if a.Reads() {
-			if v, ok := main.store[o.ID]; !ok || v != a.RequiredVersion {
+			if main.store[o.ID] != a.RequiredVersion {
 				// Synchronous fetch: request to owner, reply with the
 				// object; the main program blocks until arrival.
 				issued := main.cpu.FreeAt()

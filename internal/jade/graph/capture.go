@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/jade"
+	"repro/internal/metrics"
+)
+
+// Capture executes run once against a recording platform with the
+// given processor count and work-free setting, and returns the
+// captured graph. The recording platform executes any task bodies
+// serially in task-creation order during each drain — a valid
+// dependence-respecting schedule — so a capture is itself a correct
+// execution of the program, just an unmeasured one.
+//
+// procs matters: applications shape their task structure around
+// Runtime.Processors (per-processor replicas, block distributions,
+// placement arithmetic), so one graph is captured per processor count.
+func Capture(procs int, workFree bool, run func(*jade.Runtime)) *Graph {
+	if procs < 1 {
+		panic(fmt.Sprintf("graph: capture with %d processors", procs))
+	}
+	rec := &recorder{g: &Graph{procs: procs, workFree: workFree}}
+	rt := jade.New(rec, jade.Config{WorkFree: workFree})
+	run(rt)
+	rt.Finish()
+	return rec.finish()
+}
+
+// recorder is the capturing jade.Platform. It appends one op per
+// runtime event and retains the created *jade.Task values so task
+// descriptors can be built after the run: WithOnlyStaged attaches
+// Segments to a task after TaskCreated fires, so segment structure is
+// only safe to read once execution is over.
+type recorder struct {
+	rt    *jade.Runtime
+	g     *Graph
+	tasks []*jade.Task
+	next  int // first task Drain has not yet executed
+
+	// Serial accesses arrive via MainTouches immediately before the
+	// matching SerialWork; the span waits here between the two calls.
+	pendAcc0, pendAccN int32
+
+	stats metrics.Run
+}
+
+func (r *recorder) Attach(rt *jade.Runtime) { r.rt = rt }
+
+func (r *recorder) Processors() int { return r.g.procs }
+
+func (r *recorder) ObjectAllocated(o *jade.Object) {
+	r.g.objects = append(r.g.objects, objectDef{name: o.Name, size: o.Size, home: int32(o.Home)})
+	r.g.ops = append(r.g.ops, opAlloc)
+}
+
+func (r *recorder) TaskCreated(t *jade.Task, enabled bool) {
+	r.tasks = append(r.tasks, t)
+	r.g.ops = append(r.g.ops, opTask)
+}
+
+func (r *recorder) TaskEnabled(t *jade.Task) {}
+
+func (r *recorder) MainTouches(accs []jade.Access) {
+	r.pendAcc0 = int32(len(r.g.accs))
+	for _, a := range accs {
+		r.g.accs = append(r.g.accs, accessDef{obj: int32(a.Obj.ID), mode: a.Mode})
+	}
+	r.pendAccN = int32(len(r.g.accs))
+}
+
+func (r *recorder) SerialWork(d float64) {
+	r.g.serials = append(r.g.serials, serialDef{acc0: r.pendAcc0, accN: r.pendAccN, work: d})
+	r.pendAcc0, r.pendAccN = 0, 0
+	r.g.ops = append(r.g.ops, opSerial)
+}
+
+// Drain executes every not-yet-executed task in creation order.
+// Dependences only flow from lower task IDs to higher ones, so serial
+// ID order is always a legal schedule; early releases need no special
+// handling because full completion subsumes them.
+func (r *recorder) Drain() {
+	for ; r.next < len(r.tasks); r.next++ {
+		t := r.tasks[r.next]
+		if n := len(t.Segments); n > 0 {
+			for i := 0; i < n; i++ {
+				r.rt.RunSegmentBody(t, i)
+			}
+		} else {
+			r.rt.RunBody(t)
+		}
+		r.rt.TaskDone(t)
+	}
+	r.g.ops = append(r.g.ops, opWait)
+}
+
+func (r *recorder) Stats() *metrics.Run { return &r.stats }
+
+func (r *recorder) ResetStats() {
+	// Runtime.ResetMetrics always drains first, so the previous op is
+	// the drain's wait; fold the pair into a single reset event.
+	if n := len(r.g.ops); n > 0 && r.g.ops[n-1] == opWait {
+		r.g.ops[n-1] = opReset
+		return
+	}
+	panic("graph: ResetStats without a preceding Drain")
+}
+
+// finish builds the task descriptors from the retained tasks and
+// returns the completed graph.
+func (r *recorder) finish() *Graph {
+	g := r.g
+	// Runtime.Finish ends every run with one more drain; Replay ends
+	// with Runtime.Finish too, so drop the trailing wait rather than
+	// replaying it twice. (Draining an idle machine is a no-op on
+	// every platform, but the op would still be redundant.)
+	if n := len(g.ops); n == 0 || g.ops[n-1] != opWait {
+		panic("graph: capture did not end in a drain")
+	}
+	g.ops = g.ops[:len(g.ops)-1]
+
+	for _, t := range r.tasks {
+		d := taskDef{
+			acc0:   int32(len(g.accs)),
+			work:   t.Work,
+			placed: int32(t.Placed),
+		}
+		for _, a := range t.Accesses {
+			g.accs = append(g.accs, accessDef{obj: int32(a.Obj.ID), mode: a.Mode})
+		}
+		d.accN = int32(len(g.accs))
+		d.seg0 = int32(len(g.segments))
+		for _, sg := range t.Segments {
+			if sg.Body != nil {
+				g.hasBodies = true
+			}
+			sd := segmentDef{rel0: int32(len(g.releases)), work: sg.Work}
+			for _, o := range sg.Release {
+				g.releases = append(g.releases, int32(o.ID))
+			}
+			sd.relN = int32(len(g.releases))
+			g.segments = append(g.segments, sd)
+		}
+		d.segN = int32(len(g.segments))
+		if t.Body != nil {
+			g.hasBodies = true
+		}
+		g.tasks = append(g.tasks, d)
+	}
+	r.tasks = nil
+	return g
+}

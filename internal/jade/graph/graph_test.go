@@ -1,0 +1,318 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/apps/tomo"
+	"repro/internal/apps/water"
+	"repro/internal/dash"
+	"repro/internal/ipsc"
+	"repro/internal/jade"
+	"repro/internal/metrics"
+)
+
+// stencil is a small body-free program exercising everything a capture
+// must preserve: placed allocations, placed tasks, an untimed init
+// phase behind ResetMetrics, mid-program waits, reductions, and serial
+// phases with access declarations.
+func stencil(rt *jade.Runtime) {
+	n := rt.Processors()
+	grid := make([]*jade.Object, n)
+	for i := range grid {
+		grid[i] = rt.Alloc(fmt.Sprintf("grid[%d]", i), 4096, nil, jade.OnProcessor(i))
+	}
+	sum := rt.Alloc("sum", 256, nil)
+	for i, o := range grid {
+		o := o
+		rt.WithOnly(func(s *jade.Spec) { s.Wr(o) }, 1e-3, nil, jade.PlaceOn(i))
+	}
+	rt.ResetMetrics()
+	for iter := 0; iter < 3; iter++ {
+		for i := range grid {
+			o, left := grid[i], grid[(i+n-1)%n]
+			rt.WithOnly(func(s *jade.Spec) { s.RdWr(o); s.Rd(left) }, 2e-3, nil, jade.PlaceOn(i))
+		}
+		rt.Wait()
+		rt.WithOnly(func(s *jade.Spec) {
+			s.RdWr(sum)
+			for _, o := range grid {
+				s.Rd(o)
+			}
+		}, 1e-3, nil)
+		rt.Wait()
+		rt.Serial(5e-4, nil, func(s *jade.Spec) { s.Rd(sum) })
+	}
+}
+
+// runJSON serializes a run's full report for byte comparison.
+func runJSON(t *testing.T, r *metrics.Run) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(r.Report(), "", "  ")
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	return b
+}
+
+func TestCaptureShape(t *testing.T) {
+	g := Capture(4, false, stencil)
+	if !g.Replayable() {
+		t.Fatalf("body-free capture not replayable")
+	}
+	if g.Procs() != 4 || g.WorkFree() {
+		t.Fatalf("capture config mismatch: procs=%d workFree=%t", g.Procs(), g.WorkFree())
+	}
+	if want := 4 + 3*(4+1); g.TaskCount() != want {
+		t.Fatalf("TaskCount = %d, want %d", g.TaskCount(), want)
+	}
+	if g.ObjectCount() != 5 {
+		t.Fatalf("ObjectCount = %d, want 5", g.ObjectCount())
+	}
+	var resets, serials int
+	for _, op := range g.ops {
+		switch op {
+		case opReset:
+			resets++
+		case opSerial:
+			serials++
+		}
+	}
+	if resets != 1 || serials != 3 {
+		t.Fatalf("ops carry %d resets and %d serials, want 1 and 3", resets, serials)
+	}
+	if last := g.ops[len(g.ops)-1]; last != opSerial {
+		t.Fatalf("trailing Finish drain not dropped; last op = %d", last)
+	}
+}
+
+func TestReplayByteIdentical(t *testing.T) {
+	for _, workFree := range []bool{false, true} {
+		for _, machine := range []string{"dash", "ipsc"} {
+			t.Run(fmt.Sprintf("%s/workFree=%t", machine, workFree), func(t *testing.T) {
+				newPlatform := func() jade.Platform {
+					if machine == "dash" {
+						return dash.New(dash.DefaultConfig(4, dash.TaskPlacement))
+					}
+					return ipsc.New(ipsc.DefaultConfig(4, ipsc.TaskPlacement))
+				}
+				cfg := jade.Config{WorkFree: workFree}
+				rt := jade.New(newPlatform(), cfg)
+				stencil(rt)
+				direct := runJSON(t, rt.Finish())
+
+				g := Capture(4, workFree, stencil)
+				r, err := g.Replay(newPlatform(), cfg)
+				if err != nil {
+					t.Fatalf("Replay: %v", err)
+				}
+				if replayed := runJSON(t, r); !bytes.Equal(direct, replayed) {
+					t.Fatalf("replay diverged from direct run:\ndirect:\n%s\nreplay:\n%s", direct, replayed)
+				}
+			})
+		}
+	}
+}
+
+// staged is a program whose timing depends on early releases: the
+// staged task holds a through its first segment only, so the reader of
+// a starts mid-task while the reader of b waits for full completion.
+func staged(rt *jade.Runtime) {
+	a := rt.Alloc("a", 8192, nil)
+	b := rt.Alloc("b", 8192, nil, jade.OnProcessor(1))
+	rt.WithOnlyStaged(func(s *jade.Spec) { s.Wr(a); s.Wr(b) }, []jade.Segment{
+		{Work: 2e-3, Release: []*jade.Object{a}},
+		{Work: 4e-3},
+	})
+	// The reader of a dominates the critical path exactly when the
+	// early release lets it start mid-task.
+	rt.WithOnly(func(s *jade.Spec) { s.Rd(a) }, 1e-2, nil)
+	rt.WithOnly(func(s *jade.Spec) { s.Rd(b) }, 1e-3, nil)
+	rt.Wait()
+}
+
+func TestStagedReleaseOrderingReplay(t *testing.T) {
+	g := Capture(2, false, staged)
+	if !g.Replayable() {
+		t.Fatalf("body-free staged capture not replayable")
+	}
+	if got := g.tasks[0].segN - g.tasks[0].seg0; got != 2 {
+		t.Fatalf("staged task captured %d segments, want 2", got)
+	}
+	if nr := len(g.releases); nr != 1 {
+		t.Fatalf("captured %d releases, want 1", nr)
+	}
+
+	for _, machine := range []string{"dash", "ipsc"} {
+		t.Run(machine, func(t *testing.T) {
+			newPlatform := func() jade.Platform {
+				if machine == "dash" {
+					return dash.New(dash.DefaultConfig(2, dash.Locality))
+				}
+				return ipsc.New(ipsc.DefaultConfig(2, ipsc.Locality))
+			}
+			rt := jade.New(newPlatform(), jade.Config{})
+			staged(rt)
+			direct := rt.Finish()
+
+			r, err := g.Replay(newPlatform(), jade.Config{})
+			if err != nil {
+				t.Fatalf("Replay: %v", err)
+			}
+			dj, rj := runJSON(t, direct), runJSON(t, r)
+			if !bytes.Equal(dj, rj) {
+				t.Fatalf("staged replay diverged:\ndirect:\n%s\nreplay:\n%s", dj, rj)
+			}
+
+			// The release must matter: serializing the same program with
+			// no early release must finish later, proving the replay
+			// path carries the release and not just the total work.
+			rt2 := jade.New(newPlatform(), jade.Config{})
+			a := rt2.Alloc("a", 8192, nil)
+			b := rt2.Alloc("b", 8192, nil, jade.OnProcessor(1))
+			rt2.WithOnlyStaged(func(s *jade.Spec) { s.Wr(a); s.Wr(b) }, []jade.Segment{
+				{Work: 2e-3},
+				{Work: 4e-3},
+			})
+			rt2.WithOnly(func(s *jade.Spec) { s.Rd(a) }, 1e-2, nil)
+			rt2.WithOnly(func(s *jade.Spec) { s.Rd(b) }, 1e-3, nil)
+			rt2.Wait()
+			if noRelease := rt2.Finish(); noRelease.ExecTime <= direct.ExecTime {
+				t.Fatalf("early release changed nothing (release=%g, none=%g); ordering not exercised",
+					direct.ExecTime, noRelease.ExecTime)
+			}
+		})
+	}
+}
+
+func TestReplayRefusesBodies(t *testing.T) {
+	g := Capture(2, false, func(rt *jade.Runtime) {
+		o := rt.Alloc("o", 64, nil)
+		rt.WithOnly(func(s *jade.Spec) { s.Wr(o) }, 1e-3, func() {})
+		rt.Wait()
+	})
+	if g.Replayable() {
+		t.Fatalf("body-bearing capture claims to be replayable")
+	}
+	_, err := g.Replay(dash.New(dash.DefaultConfig(2, dash.Locality)), jade.Config{})
+	if !errors.Is(err, ErrNotReplayable) {
+		t.Fatalf("Replay error = %v, want ErrNotReplayable", err)
+	}
+}
+
+func TestCaptureExecutesBodies(t *testing.T) {
+	// A capture is itself a correct execution: bodies run (serially, in
+	// creation order) during each drain.
+	ran := 0
+	Capture(2, false, func(rt *jade.Runtime) {
+		o := rt.Alloc("o", 64, nil)
+		for i := 0; i < 3; i++ {
+			rt.WithOnly(func(s *jade.Spec) { s.RdWr(o) }, 1e-3, func() { ran++ })
+		}
+		rt.Wait()
+		if ran != 3 {
+			panic("bodies did not run before Wait returned")
+		}
+	})
+	if ran != 3 {
+		t.Fatalf("capture ran %d bodies, want 3", ran)
+	}
+}
+
+func TestReplayValidatesConfig(t *testing.T) {
+	g := Capture(4, true, stencil)
+	if _, err := g.Replay(dash.New(dash.DefaultConfig(8, dash.Locality)), jade.Config{WorkFree: true}); err == nil {
+		t.Fatalf("replay onto mismatched processor count succeeded")
+	}
+	if _, err := g.Replay(dash.New(dash.DefaultConfig(4, dash.Locality)), jade.Config{}); err == nil {
+		t.Fatalf("replay with mismatched work-free setting succeeded")
+	}
+}
+
+func TestReplayConcurrent(t *testing.T) {
+	g := Capture(4, true, stencil)
+	rt := jade.New(ipsc.New(ipsc.DefaultConfig(4, ipsc.Locality)), jade.Config{WorkFree: true})
+	stencil(rt)
+	want := runJSON(t, rt.Finish())
+
+	var wg sync.WaitGroup
+	got := make([][]byte, 8)
+	errs := make([]error, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := g.Replay(ipsc.New(ipsc.DefaultConfig(4, ipsc.Locality)), jade.Config{WorkFree: true})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			b, err := json.MarshalIndent(r.Report(), "", "  ")
+			got[i], errs[i] = b, err
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatalf("replay %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(want, got[i]) {
+			t.Fatalf("concurrent replay %d diverged from direct run", i)
+		}
+	}
+}
+
+// TestReplayAllocations pins the arena design: replaying a captured
+// graph must allocate far less than re-running the application
+// front-end, which builds per-task Specs, closures, and the app's own
+// data structures on every run. The String application (tomo) has the
+// heaviest front-end — the model traces every ray at construction —
+// so the gap is widest there; water pins the machine-inclusive path.
+func TestReplayAllocations(t *testing.T) {
+	wf := jade.Config{WorkFree: true}
+	tomoCfg := tomo.Small()
+	g := Capture(8, true, func(rt *jade.Runtime) { tomo.Run(rt, tomoCfg) })
+
+	// Front-end cost in isolation: drive both paths against the
+	// recording platform, which adds the same bookkeeping to each side,
+	// so the difference is the app driver (model construction, Specs,
+	// closures) vs the replay arenas.
+	direct := testing.AllocsPerRun(10, func() {
+		Capture(8, true, func(rt *jade.Runtime) { tomo.Run(rt, tomoCfg) })
+	})
+	replay := testing.AllocsPerRun(10, func() {
+		rec := &recorder{g: &Graph{procs: 8, workFree: true}}
+		if _, err := g.Replay(rec, wf); err != nil {
+			panic(err)
+		}
+	})
+	t.Logf("tomo front-end allocs/run: direct=%.0f replay=%.0f", direct, replay)
+	if replay > direct/2 {
+		t.Fatalf("replay front-end allocates %.0f/run, more than half of direct's %.0f/run", replay, direct)
+	}
+
+	// Machine included, every app must still come out ahead; water has
+	// the leanest front-end, so it bounds the worst case.
+	waterCfg := water.Small()
+	gw := Capture(8, true, func(rt *jade.Runtime) { water.Run(rt, waterCfg) })
+	wDirect := testing.AllocsPerRun(5, func() {
+		m := dash.New(dash.DefaultConfig(8, dash.Locality))
+		rt := jade.New(m, wf)
+		water.Run(rt, waterCfg)
+		rt.Finish()
+	})
+	wReplay := testing.AllocsPerRun(5, func() {
+		m := dash.New(dash.DefaultConfig(8, dash.Locality))
+		if _, err := gw.Replay(m, wf); err != nil {
+			panic(err)
+		}
+	})
+	t.Logf("water machine-inclusive allocs/run: direct=%.0f replay=%.0f", wDirect, wReplay)
+	if wReplay >= wDirect {
+		t.Fatalf("water replay allocates %.0f/run, not below direct's %.0f/run", wReplay, wDirect)
+	}
+}

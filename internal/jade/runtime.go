@@ -27,9 +27,20 @@ type Runtime struct {
 	tasks   []*Task
 	sync    *Synchronizer
 
+	// taskSlab and objSlab are chunked arenas for Task and Object
+	// values: structs are handed out from fixed-size chunks so each
+	// task/object costs an allocation per chunk, not per value. Chunks
+	// are never grown in place, so handed-out pointers stay stable.
+	taskSlab []Task
+	objSlab  []Object
+
 	outstanding atomic.Int64
 	finished    bool
 }
+
+// slabSize is the chunk length of the runtime's Task and Object
+// arenas; runs with more values allocate more chunks.
+const slabSize = 256
 
 // New creates a runtime bound to the given platform.
 func New(p Platform, cfg Config) *Runtime {
@@ -52,7 +63,12 @@ func (rt *Runtime) Alloc(name string, size int, data interface{}, opts ...AllocO
 	if rt.finished {
 		panic("jade: Alloc after Finish")
 	}
-	o := &Object{ID: ObjectID(len(rt.objects)), Name: name, Size: size, Data: data, Home: 0}
+	if len(rt.objSlab) == 0 {
+		rt.objSlab = make([]Object, slabSize)
+	}
+	o := &rt.objSlab[0]
+	rt.objSlab = rt.objSlab[1:]
+	*o = Object{ID: ObjectID(len(rt.objects)), Name: name, Size: size, Data: data, Home: 0}
 	for _, opt := range opts {
 		opt(o)
 	}
@@ -99,17 +115,31 @@ func (s *Spec) add(o *Object, m Mode) {
 // satisfied during a later Wait. work is the body's compute cost in
 // reference-processor seconds.
 func (rt *Runtime) WithOnly(spec func(*Spec), work float64, body func(), opts ...TaskOpt) *Task {
+	var s Spec
+	spec(&s)
+	return rt.WithAccesses(s.accs, work, body, opts...)
+}
+
+// WithAccesses creates a task from a pre-built access list, taking
+// ownership of accs (RequiredVersion fields are overwritten by the
+// synchronizer). This is the closure-free core of WithOnly; the graph
+// replayer uses it to feed captured specifications back through the
+// synchronizer without rebuilding Spec values per task.
+func (rt *Runtime) WithAccesses(accs []Access, work float64, body func(), opts ...TaskOpt) *Task {
 	if rt.finished {
 		panic("jade: WithOnly after Finish")
 	}
-	var s Spec
-	spec(&s)
-	if len(s.accs) == 0 {
+	if len(accs) == 0 {
 		panic("jade: task declared no accesses")
 	}
-	t := &Task{
+	if len(rt.taskSlab) == 0 {
+		rt.taskSlab = make([]Task, slabSize)
+	}
+	t := &rt.taskSlab[0]
+	rt.taskSlab = rt.taskSlab[1:]
+	*t = Task{
 		ID:       TaskID(len(rt.tasks)),
-		Accesses: s.accs,
+		Accesses: accs,
 		Body:     body,
 		Work:     work,
 		Placed:   -1,
@@ -137,23 +167,30 @@ func (rt *Runtime) WithOnly(spec func(*Spec), work float64, body func(), opts ..
 // platforms fetch them to the main processor first. The caller must
 // have Wait()ed if pending tasks access those objects.
 func (rt *Runtime) Serial(work float64, body func(), spec ...func(*Spec)) {
-	if rt.outstanding.Load() != 0 {
-		panic("jade: Serial with tasks outstanding; call Wait first")
-	}
 	var s Spec
 	for _, f := range spec {
 		f(&s)
 	}
-	if len(s.accs) > 0 {
+	rt.SerialAccesses(work, body, s.accs)
+}
+
+// SerialAccesses is the closure-free core of Serial: it runs a serial
+// phase whose access list is pre-built, taking ownership of accs. The
+// graph replayer uses it to re-issue captured serial phases.
+func (rt *Runtime) SerialAccesses(work float64, body func(), accs []Access) {
+	if rt.outstanding.Load() != 0 {
+		panic("jade: Serial with tasks outstanding; call Wait first")
+	}
+	if len(accs) > 0 {
 		// Serial phases see and produce versions too.
-		for i := range s.accs {
-			a := &s.accs[i]
+		for i := range accs {
+			a := &accs[i]
 			a.RequiredVersion = Version(a.Obj.writesCreated)
 			if a.Writes() {
 				a.Obj.writesCreated++
 			}
 		}
-		rt.platform.MainTouches(s.accs)
+		rt.platform.MainTouches(accs)
 	}
 	if !rt.cfg.WorkFree && body != nil {
 		body()

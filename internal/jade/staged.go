@@ -29,6 +29,16 @@ type Segment struct {
 // like WithOnly; each segment may then release objects early. The
 // final segment implicitly releases everything still held.
 func (rt *Runtime) WithOnlyStaged(spec func(*Spec), segs []Segment, opts ...TaskOpt) *Task {
+	var s Spec
+	spec(&s)
+	return rt.WithStagedAccesses(s.accs, segs, opts...)
+}
+
+// WithStagedAccesses is the closure-free core of WithOnlyStaged: it
+// creates a staged task from pre-built access and segment lists,
+// taking ownership of both. The graph replayer uses it to re-issue
+// captured staged tasks.
+func (rt *Runtime) WithStagedAccesses(accs []Access, segs []Segment, opts ...TaskOpt) *Task {
 	if len(segs) == 0 {
 		panic("jade: staged task needs at least one segment")
 	}
@@ -36,7 +46,7 @@ func (rt *Runtime) WithOnlyStaged(spec func(*Spec), segs []Segment, opts ...Task
 	for _, sg := range segs {
 		total += sg.Work
 	}
-	t := rt.WithOnly(spec, total, nil, opts...)
+	t := rt.WithAccesses(accs, total, nil, opts...)
 	if rt.cfg.WorkFree {
 		return t // bodies and releases are dropped with the work
 	}

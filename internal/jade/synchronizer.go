@@ -24,10 +24,46 @@ type entry struct {
 // drive it single-threaded.
 type Synchronizer struct {
 	mu sync.Mutex
+	// slab is the arena the entries live in: chunked so pointers stay
+	// stable, sized so task creation costs one allocation per chunk
+	// rather than one per access. Entries live exactly as long as the
+	// synchronizer (one run), so nothing is ever freed. ptrSlab arenas
+	// the per-task entry-pointer slices the same way.
+	slab    []entry
+	ptrSlab []*entry
+	// taskSlab arenas the newly-enabled slices Complete returns. A
+	// task is enabled at most once per run, so the arena advances
+	// monotonically and a returned slice is never handed out twice —
+	// safe for callers that iterate it after releasing mu.
+	taskSlab []*Task
 }
+
+// entrySlabSize is the entry-arena chunk size; at 4–8 accesses per
+// task one chunk covers tens of task creations.
+const entrySlabSize = 256
 
 // NewSynchronizer returns an empty synchronizer.
 func NewSynchronizer() *Synchronizer { return &Synchronizer{} }
+
+// newEntry allocates an entry from the arena. Callers must hold mu.
+func (s *Synchronizer) newEntry() *entry {
+	if len(s.slab) == cap(s.slab) {
+		s.slab = make([]entry, 0, entrySlabSize)
+	}
+	s.slab = s.slab[:len(s.slab)+1]
+	return &s.slab[len(s.slab)-1]
+}
+
+// entrySlice allocates a full-capacity n-pointer slice from the arena.
+// Callers must hold mu.
+func (s *Synchronizer) entrySlice(n int) []*entry {
+	if cap(s.ptrSlab)-len(s.ptrSlab) < n {
+		s.ptrSlab = make([]*entry, 0, max(entrySlabSize, n))
+	}
+	k := len(s.ptrSlab)
+	s.ptrSlab = s.ptrSlab[:k+n]
+	return s.ptrSlab[k : k+n : k+n]
+}
 
 // Register adds the task's access declarations to the object queues,
 // assigns required versions, and computes the task's initial pending
@@ -40,7 +76,7 @@ func (s *Synchronizer) Register(t *Task) (enabled bool) {
 	defer s.mu.Unlock()
 
 	t.pending = 0
-	t.entries = t.entries[:0]
+	t.entries = s.entrySlice(len(t.Accesses))[:0]
 	for i := range t.Accesses {
 		a := &t.Accesses[i]
 		o := a.Obj
@@ -50,7 +86,8 @@ func (s *Synchronizer) Register(t *Task) (enabled bool) {
 		if a.Writes() {
 			o.writesCreated++
 		}
-		e := &entry{task: t, mode: a.Mode, index: len(o.queue), obj: o}
+		e := s.newEntry()
+		*e = entry{task: t, mode: a.Mode, index: len(o.queue), obj: o}
 		// Count conflicting earlier incomplete entries.
 		for j := o.head; j < len(o.queue); j++ {
 			prev := o.queue[j]
@@ -81,7 +118,13 @@ func (s *Synchronizer) Complete(t *Task) []*Task {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	var newly []*Task
+	// Start the result in the arena's spare capacity; append falls
+	// back to a plain heap slice on the rare overflow past the chunk.
+	if len(s.taskSlab) == cap(s.taskSlab) {
+		s.taskSlab = make([]*Task, 0, entrySlabSize)
+	}
+	k := len(s.taskSlab)
+	newly := s.taskSlab[k:k]
 	for _, e := range t.entries {
 		if e.done {
 			continue
@@ -106,6 +149,11 @@ func (s *Synchronizer) Complete(t *Task) []*Task {
 		for o.head < len(o.queue) && o.queue[o.head].done {
 			o.head++
 		}
+	}
+	if len(newly) <= cap(s.taskSlab)-k {
+		// append never outgrew the chunk, so newly still aliases the
+		// arena: claim its span so the next call starts past it.
+		s.taskSlab = s.taskSlab[:k+len(newly)]
 	}
 	sortTasksByID(newly)
 	return newly

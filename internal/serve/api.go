@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 
+	"repro/internal/experiments"
 	"repro/internal/obsv"
 )
 
@@ -99,6 +100,11 @@ type Metrics struct {
 	CacheHits    uint64  `json:"cache_hits"`
 	CacheMisses  uint64  `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// GraphCache reports the process-wide task-graph cache shared by
+	// every worker: work-free runs replay captured application task
+	// graphs instead of rebuilding front-ends (see
+	// experiments.GraphCacheStats).
+	GraphCache experiments.CacheStats `json:"graph_cache"`
 	// ExperimentLatency reports wall-clock job execution latency
 	// (seconds) per experiment ID, plus the "_job" aggregate over all
 	// executed jobs. Cache hits are excluded — they measure the

@@ -628,6 +628,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CacheEntries:      s.cache.Len(),
 		CacheHits:         hits,
 		CacheMisses:       misses,
+		GraphCache:        experiments.GraphCacheStats(),
 		ExperimentLatency: make(map[string]obsv.LatencySummary, len(s.latency)),
 	}
 	if hits+misses > 0 {

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/experiments"
 )
 
 // newTestServer starts a server (with the given runner, or the real
@@ -328,6 +330,33 @@ func TestMetricz(t *testing.T) {
 	}
 	if lat.P95Sec < lat.P50Sec {
 		t.Fatalf("p95 < p50: %+v", lat)
+	}
+	if m.GraphCache.Capacity <= 0 {
+		t.Fatalf("graph cache gauges missing: %+v", m.GraphCache)
+	}
+}
+
+// A work-free job through the real experiment engine must populate
+// the shared task-graph cache: its two runs differ only in machine
+// model, so they share one captured water graph — at least one miss
+// (the capture) and one hit (the replay on the other machine).
+func TestMetriczGraphCacheCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 5}, nil)
+	before := experiments.GraphCacheStats()
+	spec := `{"schema":"jade-job/v1","runs":[{"app":"water","machine":"dash","work_free":true},{"app":"water","machine":"ipsc","work_free":true}],"scale":"small"}`
+	submit(t, ts.URL, spec, true)
+
+	resp, err := http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.GraphCache.Misses <= before.Misses || m.GraphCache.Hits <= before.Hits {
+		t.Fatalf("graph cache counters did not move: before=%+v after=%+v", before, m.GraphCache)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -86,10 +87,21 @@ func main() {
 	}
 
 	if *baseline != "" {
-		regressions, err := compare(*baseline, rep, *tolerance)
+		regressions, missing, err := compare(*baseline, rep, *tolerance)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)
+		}
+		if len(missing) > 0 {
+			// A baseline benchmark this run never produced would pass
+			// the gate silently — a renamed or deleted benchmark loses
+			// its history without anyone noticing. Warn explicitly;
+			// regenerating the baseline clears it.
+			fmt.Fprintf(os.Stderr, "benchjson: warning: %d baseline benchmark(s) missing from this run (gate skipped for them):\n",
+				len(missing))
+			for _, m := range missing {
+				fmt.Fprintf(os.Stderr, "  %s\n", m)
+			}
 		}
 		if len(regressions) > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% vs %s:\n",
@@ -163,26 +175,36 @@ func parse(r interface{ Read([]byte) (int, error) }) (*Report, error) {
 }
 
 // compare returns a description of every benchmark in the baseline
-// whose current ns/op exceeds baseline*(1+tolerance). Benchmarks that
-// exist on only one side are skipped: additions and removals are not
-// regressions.
-func compare(baselinePath string, cur *Report, tolerance float64) ([]string, error) {
+// whose current ns/op exceeds baseline*(1+tolerance), plus the keys of
+// baseline benchmarks the current run never produced. New benchmarks
+// (current only) are not regressions; missing ones are reported so a
+// renamed or deleted benchmark can't silently drop out of the gate.
+func compare(baselinePath string, cur *Report, tolerance float64) (regressions, missing []string, err error) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var base Report
 	if err := json.Unmarshal(data, &base); err != nil {
-		return nil, fmt.Errorf("%s: %v", baselinePath, err)
+		return nil, nil, fmt.Errorf("%s: %v", baselinePath, err)
 	}
 	if base.Schema != Schema {
-		return nil, fmt.Errorf("%s: schema %q, want %q", baselinePath, base.Schema, Schema)
+		return nil, nil, fmt.Errorf("%s: schema %q, want %q", baselinePath, base.Schema, Schema)
 	}
 	baseNs := make(map[string]float64, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseNs[key(b)] = b.NsPerOp
 	}
-	var regressions []string
+	curKeys := make(map[string]bool, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curKeys[key(b)] = true
+	}
+	for _, b := range base.Benchmarks {
+		if !curKeys[key(b)] {
+			missing = append(missing, key(b))
+		}
+	}
+	sort.Strings(missing)
 	for _, b := range cur.Benchmarks {
 		old, ok := baseNs[key(b)]
 		if !ok || old <= 0 {
@@ -194,7 +216,7 @@ func compare(baselinePath string, cur *Report, tolerance float64) ([]string, err
 				key(b), b.NsPerOp, old, 100*(b.NsPerOp/old-1)))
 		}
 	}
-	return regressions, nil
+	return regressions, missing, nil
 }
 
 // key identifies a benchmark across documents.

@@ -70,14 +70,17 @@ func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
 		{Name: "Table2", Package: "repro", NsPerOp: 1500},                    // +50%: regression
 		{Name: "Added", Package: "repro", NsPerOp: 999999},                   // no baseline: skipped
 	}}
-	regressions, err := compare(baseline, cur, 0.20)
+	regressions, missing, err := compare(baseline, cur, 0.20)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(regressions) != 1 || !strings.Contains(regressions[0], "repro.Table2") {
 		t.Fatalf("regressions = %v, want only repro.Table2", regressions)
 	}
-	regressions, err = compare(baseline, cur, 0.60)
+	if len(missing) != 1 || missing[0] != "repro.Removed" {
+		t.Fatalf("missing = %v, want only repro.Removed", missing)
+	}
+	regressions, _, err = compare(baseline, cur, 0.60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,11 +89,48 @@ func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
 	}
 }
 
+func TestCompareReportsMissingBaselines(t *testing.T) {
+	baseline := writeBaseline(t, `{
+	  "schema": "jade-bench/v1",
+	  "benchmarks": [
+	    {"name": "Kept", "package": "repro", "iterations": 1, "ns_per_op": 100},
+	    {"name": "GoneB", "package": "repro", "iterations": 1, "ns_per_op": 100},
+	    {"name": "GoneA", "package": "repro/internal/sim", "iterations": 1, "ns_per_op": 100}
+	  ]
+	}`)
+	cur := &Report{Schema: Schema, Benchmarks: []Benchmark{
+		{Name: "Kept", Package: "repro", NsPerOp: 100},
+	}}
+	regressions, missing, err := compare(baseline, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none", regressions)
+	}
+	want := []string{"repro.GoneB", "repro/internal/sim.GoneA"}
+	if len(missing) != 2 || missing[0] != want[0] || missing[1] != want[1] {
+		t.Fatalf("missing = %v, want %v (sorted)", missing, want)
+	}
+
+	// A fully covered baseline reports nothing missing.
+	cur.Benchmarks = append(cur.Benchmarks,
+		Benchmark{Name: "GoneB", Package: "repro", NsPerOp: 100},
+		Benchmark{Name: "GoneA", Package: "repro/internal/sim", NsPerOp: 100})
+	_, missing, err = compare(baseline, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v, want none", missing)
+	}
+}
+
 func TestCompareRejectsBadBaseline(t *testing.T) {
-	if _, err := compare(writeBaseline(t, `{"schema":"other/v9"}`), &Report{Schema: Schema}, 0.2); err == nil {
+	if _, _, err := compare(writeBaseline(t, `{"schema":"other/v9"}`), &Report{Schema: Schema}, 0.2); err == nil {
 		t.Fatal("wrong-schema baseline accepted")
 	}
-	if _, err := compare(filepath.Join(t.TempDir(), "missing.json"), &Report{Schema: Schema}, 0.2); err == nil {
+	if _, _, err := compare(filepath.Join(t.TempDir(), "missing.json"), &Report{Schema: Schema}, 0.2); err == nil {
 		t.Fatal("missing baseline accepted")
 	}
 }
