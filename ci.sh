@@ -32,6 +32,11 @@ if [ "${1:-}" = "bench" ]; then
         # it gets a longer benchtime than the per-table gates.
         go test -run '^$' -bench '^BenchmarkSweepGraph(Replay|Direct)$' \
             -benchmem -benchtime 1s .
+        # The serving pair backs the observability-overhead claim:
+        # spans + logging + SLO tracking on (observed) must track the
+        # bare serving path.
+        go test -run '^$' -bench '^BenchmarkServeJob$' \
+            -benchmem -benchtime 1s ./internal/serve
     } | go run ./internal/tools/benchjson -commit "$commit" -o "$out" $baseline_args
     echo "bench OK: $out"
     exit 0
@@ -92,7 +97,12 @@ trap cleanup EXIT
 
 go build -o "$tmp/jaded" ./cmd/jaded
 go build -o "$tmp/jsoncheck" ./internal/tools/jsoncheck
-"$tmp/jaded" -addr 127.0.0.1:0 -workers 1 >"$tmp/jaded.log" 2>&1 &
+go build -o "$tmp/promcheck" ./internal/tools/promcheck
+# The observability plane is on for the whole smoke: structured JSON
+# logs on stderr, span capture, and pprof.
+"$tmp/jaded" -addr 127.0.0.1:0 -workers 1 \
+    -log-level debug -log-format json -spans -pprof \
+    >"$tmp/jaded.log" 2>"$tmp/jaded.stderr" &
 jaded_pid=$!
 
 # Scrape the chosen address from the startup line.
@@ -120,6 +130,44 @@ grep -q '"cache_hit": true' "$tmp/second.json" ||
 
 curl -fsS "http://$addr/metricz" |
     "$tmp/jsoncheck" schema cache_hits queue_depth experiment_latency_sec.table4
+
+echo "== jaded observability smoke =="
+# A caller-supplied trace ID must round-trip: echoed in the response
+# header, stamped into the job's jade-span/v1 trace, and correlated in
+# the structured access log.
+trace_id="ci-trace-0001"
+curl -fsS -D "$tmp/trace.hdr" -H "X-Jade-Trace: $trace_id" \
+    -X POST -d '{"schema":"jade-job/v1","experiments":["fig10"],"scale":"small"}' \
+    "http://$addr/v1/jobs?sync=1" >"$tmp/traced.json"
+grep -qi "^X-Jade-Trace: $trace_id" "$tmp/trace.hdr" ||
+    { echo "jaded: trace ID not echoed in the response header" >&2; cat "$tmp/trace.hdr" >&2; exit 1; }
+grep -q "\"trace_id\": \"$trace_id\"" "$tmp/traced.json" ||
+    { echo "jaded: trace ID missing from the status document" >&2; exit 1; }
+job_id=$(sed -n 's/^  "id": "\(job-[0-9]*\)",$/\1/p' "$tmp/traced.json")
+[ -n "$job_id" ] || { echo "jaded: no job id in the traced response" >&2; exit 1; }
+curl -fsS "http://$addr/v1/jobs/$job_id/trace" >"$tmp/span.json"
+"$tmp/jsoncheck" schema trace_id job_id root.name root.children.0.name <"$tmp/span.json"
+grep -q "\"trace_id\": \"$trace_id\"" "$tmp/span.json" ||
+    { echo "jaded: span doc carries the wrong trace ID" >&2; exit 1; }
+for phase in queue_wait execute finish; do
+    grep -q "\"name\": \"$phase\"" "$tmp/span.json" ||
+        { echo "jaded: span doc missing phase $phase" >&2; cat "$tmp/span.json" >&2; exit 1; }
+done
+curl -fsS "http://$addr/v1/jobs/$job_id/trace?format=perfetto" | grep -q '"traceEvents"' ||
+    { echo "jaded: perfetto trace export failed" >&2; exit 1; }
+grep -q "\"trace_id\":\"$trace_id\"" "$tmp/jaded.stderr" ||
+    { echo "jaded: access log does not correlate the trace ID" >&2; cat "$tmp/jaded.stderr" >&2; exit 1; }
+
+# The Prometheus rendering of /metricz must be valid 0.0.4 text and
+# carry the serving families.
+curl -fsS "http://$addr/metricz?format=prom" |
+    "$tmp/promcheck" jaded_jobs_accepted_total jaded_jobs_completed_total \
+        jaded_result_cache_hits_total jaded_queue_depth jaded_workers \
+        jaded_job_latency_seconds
+
+# pprof answers when enabled.
+curl -fsS "http://$addr/debug/pprof/cmdline" >/dev/null ||
+    { echo "jaded: pprof endpoint missing" >&2; exit 1; }
 
 echo "== jaded chaos smoke =="
 # A job whose spec injects a panic must fail cleanly (panic isolation)

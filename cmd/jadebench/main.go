@@ -22,16 +22,27 @@
 // instrumented runs in the JSON report execute under deterministic
 // fault injection (jade-fault/v1): the same seed always reproduces the
 // same faulted execution, byte for byte. Requires -json.
+//
+// With -spans out.json (requires -json), the report is produced by
+// pushing the job through the in-process serving path — the same
+// admission, queue, and execution pipeline jaded runs — with span
+// capture on, and the job's jade-span/v1 lifecycle trace is written
+// to out.json. The report document on stdout is byte-identical to the
+// direct path; the trace shows where the wall time went.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -47,6 +58,9 @@ func main() {
 		graphCache = flag.Bool("graph-cache", true,
 			"replay cached task graphs for work-free runs (build each app front-end once per sweep); "+
 				"disable to rebuild front-ends every run — output is byte-identical either way")
+		spansOut = flag.String("spans", "",
+			"write the job's jade-span/v1 lifecycle trace to this file, running the report "+
+				"through the in-process serving path; requires -json")
 	)
 	flag.Parse()
 
@@ -88,10 +102,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "jadebench: -fault applies to the instrumented runs of the JSON report; add -json")
 		os.Exit(2)
 	}
+	if *spansOut != "" && !*jsonOut {
+		fmt.Fprintln(os.Stderr, "jadebench: -spans traces the JSON report job; add -json")
+		os.Exit(2)
+	}
 	if *jsonOut {
 		runs := experiments.DefaultRunSpecs()
 		for i := range runs {
 			runs[i].Fault = fspec
+		}
+		if *spansOut != "" {
+			if err := runTraced(ids, runs, scale, *spansOut); err != nil {
+				fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
+				os.Exit(1)
+			}
+			return
 		}
 		rep, err := experiments.BuildReportWithRuns(ids, runs, scale)
 		if err != nil {
@@ -119,4 +144,52 @@ func main() {
 		}
 		fmt.Print(sb.String())
 	}
+}
+
+// runTraced produces the JSON report through the in-process serving
+// path with span capture on, writing the job's jade-span/v1 trace to
+// spansPath and the report document to stdout. The result is
+// byte-identical to the direct path — same engine, same spec — with
+// the request lifecycle recorded around it.
+func runTraced(ids []string, runs []experiments.RunSpec, scale experiments.Scale, spansPath string) error {
+	s := serve.New(serve.Config{Workers: 1, CacheEntries: -1, Spans: true})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	spec := &serve.JobSpec{
+		Schema:      serve.JobSchema,
+		Experiments: ids,
+		Runs:        runs,
+		Scale:       string(scale),
+	}
+	doc, err := s.RunSync(context.Background(), spec, "")
+	if err != nil {
+		return err
+	}
+	if doc.Status != serve.StatusDone {
+		return fmt.Errorf("job %s: %s", doc.Status, doc.Error)
+	}
+	trace, err := s.TraceDoc(doc.ID)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(spansPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(trace); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "jadebench: wrote trace %s (%d phases) to %s\n",
+		trace.TraceID, len(trace.Root.Children), spansPath)
+	_, err = os.Stdout.Write(doc.Result)
+	return err
 }

@@ -133,6 +133,49 @@ func (h *Histogram) Quantile(q float64) float64 {
 // Reset zeroes the histogram.
 func (h *Histogram) Reset() { *h = Histogram{} }
 
+// Merge folds another histogram into this one. Bucket layouts are
+// identical by construction, so the merged histogram reports exactly
+// what one histogram fed both streams would have: counts and sums add,
+// min/max take the extremes, and quantiles keep their one-sub-bucket
+// resolution. This is how per-worker (or per-window) histograms
+// aggregate into a fleet view without re-observing anything.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+}
+
+// Bucket is one occupied histogram bucket: Count observations at most
+// UpperSec seconds.
+type Bucket struct {
+	UpperSec float64
+	Count    uint64
+}
+
+// Buckets returns the occupied buckets in ascending upper-bound order
+// (per-bucket counts, not cumulative). Renderers that need cumulative
+// series — Prometheus histogram exposition — accumulate as they walk.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.counts {
+		if c > 0 {
+			out = append(out, Bucket{UpperSec: bucketUpper(i), Count: c})
+		}
+	}
+	return out
+}
+
 // LatencySummary is the distribution-aware report of one histogram,
 // with a stable JSON schema.
 type LatencySummary struct {
@@ -140,16 +183,20 @@ type LatencySummary struct {
 	MeanSec float64 `json:"mean_sec"`
 	P50Sec  float64 `json:"p50_sec"`
 	P95Sec  float64 `json:"p95_sec"`
+	P99Sec  float64 `json:"p99_sec"`
+	P999Sec float64 `json:"p999_sec"`
 	MaxSec  float64 `json:"max_sec"`
 }
 
-// Summary reports count, mean, p50, p95 and max.
+// Summary reports count, mean, p50/p95/p99/p999 and max.
 func (h *Histogram) Summary() LatencySummary {
 	return LatencySummary{
 		Count:   h.count,
 		MeanSec: h.Mean(),
 		P50Sec:  h.Quantile(0.50),
 		P95Sec:  h.Quantile(0.95),
+		P99Sec:  h.Quantile(0.99),
+		P999Sec: h.Quantile(0.999),
 		MaxSec:  h.max,
 	}
 }

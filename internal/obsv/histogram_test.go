@@ -1,0 +1,123 @@
+package obsv
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramMergeMatchesSingleStream pins the Merge contract: two
+// histograms fed disjoint halves of a stream, merged, report exactly
+// what one histogram fed the whole stream reports.
+func TestHistogramMergeMatchesSingleStream(t *testing.T) {
+	var whole, a, b Histogram
+	for i := 1; i <= 1000; i++ {
+		v := float64(i) / 1000 // 1ms .. 1s
+		whole.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), whole.Count())
+	}
+	if math.Abs(a.Sum()-whole.Sum()) > 1e-9*whole.Sum() {
+		t.Fatalf("merged sum = %g, want %g", a.Sum(), whole.Sum())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged min/max = %g/%g, want %g/%g", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 0.999, 1} {
+		if got, want := a.Quantile(q), whole.Quantile(q); got != want {
+			t.Fatalf("merged q%g = %g, want %g", q, got, want)
+		}
+	}
+}
+
+// TestHistogramMergeEmptyAndNil pins the degenerate cases: merging nil
+// or an empty histogram changes nothing, and merging into an empty
+// histogram copies the source.
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	var h Histogram
+	h.Record(0.25)
+	h.Merge(nil)
+	h.Merge(&Histogram{})
+	if h.Count() != 1 || h.Min() != 0.25 || h.Max() != 0.25 {
+		t.Fatalf("merge of nil/empty perturbed the histogram: %+v", h.Summary())
+	}
+	var dst Histogram
+	dst.Merge(&h)
+	if dst.Count() != 1 || dst.Min() != 0.25 || dst.Max() != 0.25 {
+		t.Fatalf("merge into empty lost data: %+v", dst.Summary())
+	}
+}
+
+// TestHistogramP999KnownDistribution pins the tail quantiles on a
+// known distribution: 999 observations at ~1ms and one at 2s. p99
+// still sits in the 1ms mass; p999 must reach the outlier (within the
+// 12.5% relative bucket resolution, clamped by the exact max).
+func TestHistogramP999KnownDistribution(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 999; i++ {
+		h.Record(0.001)
+	}
+	h.Record(2.0)
+
+	s := h.Summary()
+	if s.P99Sec > 0.001*1.125 {
+		t.Fatalf("p99 = %g, want ≈ 1ms", s.P99Sec)
+	}
+	if s.P999Sec > 0.001*1.125 {
+		t.Fatalf("p999 = %g, did not leave the 1ms mass", s.P999Sec)
+	}
+	// One more outlier pushes the 0.999 rank (ceil(.999*1001) = 1000)
+	// into the tail.
+	h.Record(2.0)
+	if got := h.Quantile(0.999); got != 2.0 {
+		t.Fatalf("p999 after second outlier = %g, want 2.0 (clamped by max)", got)
+	}
+	if h.Quantile(0.999) < h.Quantile(0.99) {
+		t.Fatal("p999 < p99")
+	}
+}
+
+// TestHistogramBuckets pins the Buckets export the Prometheus renderer
+// depends on: ascending upper bounds, per-bucket counts summing to
+// Count, and every recorded value at or below its bucket's upper
+// bound.
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	values := []float64{0.0001, 0.001, 0.001, 0.01, 0.1, 1, 10}
+	for _, v := range values {
+		h.Record(v)
+	}
+	buckets := h.Buckets()
+	if len(buckets) == 0 {
+		t.Fatal("no buckets for a populated histogram")
+	}
+	var total uint64
+	last := math.Inf(-1)
+	for _, b := range buckets {
+		if b.UpperSec <= last {
+			t.Fatalf("bucket uppers not ascending: %g after %g", b.UpperSec, last)
+		}
+		if b.Count == 0 {
+			t.Fatalf("empty bucket exported: %+v", b)
+		}
+		last = b.UpperSec
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket counts sum to %d, want %d", total, h.Count())
+	}
+	// Each value must be covered by some bucket with upper >= value
+	// whose cumulative count includes it; spot-check the largest.
+	if buckets[len(buckets)-1].UpperSec < 10 {
+		t.Fatalf("largest bucket upper %g < max value 10", buckets[len(buckets)-1].UpperSec)
+	}
+	if (&Histogram{}).Buckets() != nil {
+		t.Fatal("empty histogram should export no buckets")
+	}
+}

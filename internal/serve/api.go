@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obsv"
+	"repro/internal/svcobs"
 )
 
 // Schema tags for the response documents. Additions keep the
@@ -45,7 +46,10 @@ type JobStatus struct {
 	Status   string `json:"status"`
 	SpecHash string `json:"spec_hash"`
 	CacheHit bool   `json:"cache_hit"`
-	Error    string `json:"error,omitempty"`
+	// TraceID identifies the request trace this job belongs to (the
+	// X-Jade-Trace value); empty when span capture is disabled.
+	TraceID string `json:"trace_id,omitempty"`
+	Error   string `json:"error,omitempty"`
 	// ErrorCode classifies a failed job: ErrCodeTimeout means the job
 	// deadline expired (retry later), ErrCodeFailed everything else.
 	ErrorCode string          `json:"error_code,omitempty"`
@@ -67,10 +71,12 @@ type Catalog struct {
 	Experiments []CatalogEntry `json:"experiments"`
 }
 
-// Health is the GET /healthz response.
+// Health is the GET /healthz response. Status is "ok", or "degraded"
+// (with HTTP 503) when the SLO error budget is exhausted.
 type Health struct {
-	Status    string  `json:"status"`
-	UptimeSec float64 `json:"uptime_sec"`
+	Status    string            `json:"status"`
+	UptimeSec float64           `json:"uptime_sec"`
+	SLO       *svcobs.SLOStatus `json:"slo,omitempty"`
 }
 
 // Metrics is the GET /metricz response: queue, worker, cache, and
@@ -94,12 +100,15 @@ type Metrics struct {
 	// JobsRetried counts re-executions after transient runner
 	// failures; JobsPanicked counts runner panics caught and turned
 	// into job failures (the worker survives both).
-	JobsRetried  int64   `json:"jobs_retried"`
-	JobsPanicked int64   `json:"jobs_panicked"`
-	CacheEntries int     `json:"cache_entries"`
-	CacheHits    uint64  `json:"cache_hits"`
-	CacheMisses  uint64  `json:"cache_misses"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
+	JobsRetried  int64 `json:"jobs_retried"`
+	JobsPanicked int64 `json:"jobs_panicked"`
+	// BreakerTransitions counts circuit state changes (closed→open,
+	// open→half-open, half-open→closed/open) across all experiments.
+	BreakerTransitions int64   `json:"breaker_transitions"`
+	CacheEntries       int     `json:"cache_entries"`
+	CacheHits          uint64  `json:"cache_hits"`
+	CacheMisses        uint64  `json:"cache_misses"`
+	CacheHitRate       float64 `json:"cache_hit_rate"`
 	// GraphCache reports the process-wide task-graph cache shared by
 	// every worker: work-free runs replay captured application task
 	// graphs instead of rebuilding front-ends (see
@@ -113,6 +122,9 @@ type Metrics struct {
 	// CircuitBreakers reports the state of every experiment circuit
 	// that has recorded at least one failure (absent until then).
 	CircuitBreakers map[string]BreakerStatus `json:"circuit_breakers,omitempty"`
+	// SLO reports the rolling-window SLO tracker (absent when
+	// disabled).
+	SLO *svcobs.SLOStatus `json:"slo,omitempty"`
 }
 
 // errorBody is the JSON error envelope for non-2xx responses.

@@ -38,8 +38,28 @@ type breaker struct {
 	cooldown  time.Duration
 	now       func() time.Time // injectable clock for tests
 
+	// onTransition observes every state change as (key, from, to).
+	// Invoked after b.mu is released, so observers may take other
+	// locks (the server counts and logs transitions from it).
+	onTransition func(key, from, to string)
+
 	mu      sync.Mutex
 	entries map[string]*breakerEntry
+}
+
+// transition is one recorded state change, collected under b.mu and
+// reported to onTransition after unlock.
+type transition struct{ key, from, to string }
+
+// notify delivers collected transitions to the observer. Call with
+// b.mu released.
+func (b *breaker) notify(ts []transition) {
+	if b.onTransition == nil {
+		return
+	}
+	for _, t := range ts {
+		b.onTransition(t.key, t.from, t.to)
+	}
 }
 
 type breakerEntry struct {
@@ -70,8 +90,8 @@ func (b *breaker) allow(keys []string) (wait time.Duration, key string, ok bool)
 	if !b.enabled() {
 		return 0, "", true
 	}
+	var ts []transition
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	now := b.now()
 	for _, k := range keys {
 		e := b.entries[k]
@@ -80,10 +100,15 @@ func (b *breaker) allow(keys []string) (wait time.Duration, key string, ok bool)
 		}
 		remaining := e.openedAt.Add(b.cooldown).Sub(now)
 		if remaining > 0 {
+			b.mu.Unlock()
+			b.notify(ts)
 			return remaining, k, false
 		}
 		e.state = BreakerHalfOpen
+		ts = append(ts, transition{k, BreakerOpen, BreakerHalfOpen})
 	}
+	b.mu.Unlock()
+	b.notify(ts)
 	return 0, "", true
 }
 
@@ -93,14 +118,19 @@ func (b *breaker) success(keys []string) {
 	if !b.enabled() {
 		return
 	}
+	var ts []transition
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	for _, k := range keys {
 		if e := b.entries[k]; e != nil {
+			if e.state != BreakerClosed {
+				ts = append(ts, transition{k, e.state, BreakerClosed})
+			}
 			e.state = BreakerClosed
 			e.consecutive = 0
 		}
 	}
+	b.mu.Unlock()
+	b.notify(ts)
 }
 
 // failure records one failed execution under each key. A half-open
@@ -110,8 +140,8 @@ func (b *breaker) failure(keys []string) {
 	if !b.enabled() {
 		return
 	}
+	var ts []transition
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	now := b.now()
 	for _, k := range keys {
 		e := b.entries[k]
@@ -121,11 +151,16 @@ func (b *breaker) failure(keys []string) {
 		}
 		e.consecutive++
 		if e.state == BreakerHalfOpen || e.consecutive >= b.threshold {
+			if e.state != BreakerOpen {
+				ts = append(ts, transition{k, e.state, BreakerOpen})
+			}
 			e.state = BreakerOpen
 			e.openedAt = now
 			e.trips++
 		}
 	}
+	b.mu.Unlock()
+	b.notify(ts)
 }
 
 // snapshot exports every tracked circuit for /metricz.

@@ -133,10 +133,10 @@ func TestDeadlineCoversQueueWait(t *testing.T) {
 	if err := spec.Canonicalize(); err != nil {
 		t.Fatal(err)
 	}
-	j, err := s.newJob(spec, spec.Hash())
-	if err != nil {
-		t.Fatal(err)
-	}
+	s.mu.Lock()
+	j := s.registerJobLocked(spec, spec.Hash())
+	s.accepted++
+	s.mu.Unlock()
 	// Let the deadline lapse "in the queue", then hand the job to a
 	// worker the way Pop would.
 	time.Sleep(20 * time.Millisecond)

@@ -13,13 +13,23 @@
 // out across the experiment engine's worker pool (Config.
 // RunParallelism), so one large job can use the whole machine.
 //
+// The serving path is itself observable (internal/svcobs): every
+// request gets a trace ID (accepted from / echoed in X-Jade-Trace),
+// every job grows a lifecycle span tree retrievable as jade-span/v1
+// or Perfetto JSON, structured logs correlate on the trace ID, and
+// /metricz renders as JSON or Prometheus text. A rolling SLO tracker
+// degrades /healthz to 503 when the availability error budget burns
+// out.
+//
 // API surface:
 //
 //	POST /v1/jobs            submit a job; ?sync=1 blocks (small scale only)
 //	GET  /v1/jobs/{id}       job status + result document when done
+//	GET  /v1/jobs/{id}/trace jade-span/v1 span tree (?format=perfetto)
 //	GET  /v1/experiments     experiment catalog
-//	GET  /healthz            liveness
+//	GET  /healthz            liveness + SLO budget (503 when exhausted)
 //	GET  /metricz            queue/worker/cache/latency gauges
+//	                         (?format=prom for Prometheus text)
 package serve
 
 import (
@@ -28,6 +38,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"sync"
@@ -35,6 +46,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obsv"
+	"repro/internal/svcobs"
 )
 
 // ErrTransient marks runner errors worth retrying: wrap (or join) it
@@ -79,6 +91,23 @@ type Config struct {
 	// submissions before letting a half-open probe through
 	// (default 30s).
 	BreakerCooldown time.Duration
+	// JobRetention bounds how many terminal (done or failed) jobs stay
+	// pollable under their IDs, spans included; the oldest are evicted
+	// first. 0 selects the default of 4096, negative retains
+	// everything (the pre-retention behavior — the jobs map then grows
+	// without bound).
+	JobRetention int
+	// Logger receives structured access and job-lifecycle logs
+	// (log/slog); nil disables logging entirely.
+	Logger *slog.Logger
+	// Spans enables per-request lifecycle span capture: every job's
+	// trace is retrievable at GET /v1/jobs/{id}/trace as jade-span/v1
+	// or Perfetto JSON. Off by default; costs nothing when off.
+	Spans bool
+	// SLO configures the rolling-window SLO tracker (p99 latency
+	// objective, availability error budget). The zero value disables
+	// it; when the budget is exhausted /healthz degrades to 503.
+	SLO svcobs.SLOConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -112,6 +141,12 @@ func (c *Config) fillDefaults() {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 30 * time.Second
 	}
+	if c.JobRetention == 0 {
+		c.JobRetention = 4096
+	}
+	if c.JobRetention < 0 {
+		c.JobRetention = 0 // retain everything
+	}
 }
 
 // Job is one submitted job. Mutable fields are guarded by the
@@ -128,11 +163,24 @@ type Job struct {
 	errCode  string
 	done     chan struct{}
 
+	// created anchors the job's latency measurement (and the SLO
+	// sample) at admission.
+	created time.Time
+
 	// ctx carries the job deadline, which starts at submission and
 	// covers queue wait plus execution; cancel releases it when the
 	// job reaches a terminal state.
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// Observability: the request's trace travels with the job so the
+	// lifecycle phases (queue wait, execution attempts, finish) land
+	// in the same span tree the HTTP middleware rooted. All nil when
+	// span capture is off.
+	trace     *svcobs.Trace
+	root      *svcobs.Span
+	spanQueue *svcobs.Span // queue_wait: enqueue → worker pickup
+	spanFlw   *svcobs.Span // singleflight_follow: registration → shared finish
 
 	// followers are identical jobs (same canonical hash) that arrived
 	// while this one was executing; singleflight finishes them with
@@ -143,12 +191,14 @@ type Job struct {
 // Server is the jaded HTTP handler plus its worker pool. Create with
 // New, serve it with net/http, and stop it with Shutdown.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	queue *Queue[*Job]
-	cache *Cache
-	start time.Time
-	wg    sync.WaitGroup
+	cfg    Config
+	mux    *http.ServeMux
+	queue  *Queue[*Job]
+	cache  *Cache
+	start  time.Time
+	wg     sync.WaitGroup
+	logger *slog.Logger
+	slo    *svcobs.SLO
 
 	// runFn executes a canonical job spec; tests substitute a
 	// controllable runner. The context carries the job deadline.
@@ -170,7 +220,14 @@ type Server struct {
 	deduped   int64
 	retried   int64
 	panicked  int64
-	latency   map[string]*obsv.Histogram
+	// breakerTransitions counts circuit state changes (see
+	// noteBreakerTransition); monotonic, like every counter above.
+	breakerTransitions int64
+	latency            map[string]*obsv.Histogram
+	// doneOrder lists terminal job IDs oldest-first; finishLocked
+	// evicts from its head once Config.JobRetention is exceeded, so
+	// finished jobs (and their span trees) don't accumulate forever.
+	doneOrder []string
 }
 
 // New creates a server and starts its worker pool.
@@ -190,15 +247,19 @@ func newServer(cfg Config, runFn func(context.Context, *JobSpec) ([]byte, error)
 		queue:    NewQueue[*Job](cfg.QueueCap),
 		cache:    NewCache(cfg.CacheEntries),
 		start:    time.Now(),
+		logger:   cfg.Logger,
+		slo:      svcobs.NewSLO(cfg.SLO),
 		runFn:    runFn,
 		breaker:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 		latency:  make(map[string]*obsv.Histogram),
 	}
+	s.breaker.onTransition = s.noteBreakerTransition
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleCatalog)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metricz", s.handleMetrics)
@@ -209,8 +270,14 @@ func newServer(cfg Config, runFn func(context.Context, *JobSpec) ([]byte, error)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. With the observability plane on
+// it routes through the tracing/logging middleware; off, it is the
+// bare mux dispatch it always was.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.obsEnabled() {
+		s.serveObserved(w, r)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -273,6 +340,7 @@ func (s *Server) worker() {
 // with the shared result, so N concurrent identical submissions cost
 // one simulation.
 func (s *Server) execute(j *Job) {
+	j.spanQueue.End()
 	// An identical job may have finished while this one queued.
 	if data, ok := s.cache.Peek(j.Hash); ok {
 		s.finish(j, data, true, nil)
@@ -287,6 +355,10 @@ func (s *Server) execute(j *Job) {
 	}
 	s.mu.Lock()
 	if leader, ok := s.inflight[j.Hash]; ok {
+		// spanFlw is assigned before the append: the leader reads it
+		// from its follower list as soon as the mutex drops.
+		j.spanFlw = j.root.Child("singleflight_follow")
+		j.spanFlw.SetAttr("leader", leader.ID)
 		leader.followers = append(leader.followers, j)
 		s.deduped++
 		s.mu.Unlock()
@@ -298,7 +370,12 @@ func (s *Server) execute(j *Job) {
 	s.mu.Unlock()
 	started := time.Now()
 
-	data, err := s.run(j)
+	execSpan := j.root.Child("execute")
+	data, err := s.run(j, execSpan)
+	if err != nil {
+		execSpan.SetAttr("error", err.Error())
+	}
+	execSpan.End()
 	if err == nil {
 		s.cache.Put(j.Hash, data)
 		s.observe(j, time.Since(started).Seconds())
@@ -316,6 +393,7 @@ func (s *Server) execute(j *Job) {
 	s.mu.Unlock()
 	s.finish(j, data, false, err)
 	for _, f := range followers {
+		f.spanFlw.End()
 		if err != nil {
 			s.finish(f, nil, false, fmt.Errorf("deduplicated onto an identical job that failed: %w", err))
 		} else {
@@ -325,8 +403,9 @@ func (s *Server) execute(j *Job) {
 }
 
 // run executes the job's spec, retrying transient failures with
-// exponential backoff inside the job deadline.
-func (s *Server) run(j *Job) ([]byte, error) {
+// exponential backoff inside the job deadline. Each attempt gets its
+// own sub-span under the execute span.
+func (s *Server) run(j *Job, execSpan *svcobs.Span) ([]byte, error) {
 	attempts := s.cfg.MaxRetries + 1
 	backoff := s.cfg.RetryBackoff
 	var err error
@@ -342,8 +421,13 @@ func (s *Server) run(j *Job) ([]byte, error) {
 			s.retried++
 			s.mu.Unlock()
 		}
+		attSpan := execSpan.Child(fmt.Sprintf("attempt-%d", attempt+1))
 		var data []byte
 		data, err = s.runOnce(j.ctx, j.Spec)
+		if err != nil {
+			attSpan.SetAttr("error", err.Error())
+		}
+		attSpan.End()
 		if err == nil {
 			return data, nil
 		}
@@ -388,10 +472,11 @@ func (s *Server) runOnce(ctx context.Context, spec *JobSpec) ([]byte, error) {
 
 // finish moves a job to its terminal state and wakes waiters. Timeout
 // failures carry the distinct "timeout" error code so clients can tell
-// "retry later" from "this spec fails".
+// "retry later" from "this spec fails". The terminal state also feeds
+// the SLO tracker and the job-lifecycle log.
 func (s *Server) finish(j *Job, data []byte, cacheHit bool, err error) {
+	fs := j.root.Child("finish")
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j.cacheHit = cacheHit
 	if err != nil {
 		j.status = StatusFailed
@@ -410,6 +495,21 @@ func (s *Server) finish(j *Job, data []byte, cacheHit bool, err error) {
 		j.cancel()
 	}
 	close(j.done)
+	if n := s.cfg.JobRetention; n > 0 {
+		s.doneOrder = append(s.doneOrder, j.ID)
+		if len(s.doneOrder) > n {
+			evict := len(s.doneOrder) - n
+			for _, id := range s.doneOrder[:evict] {
+				delete(s.jobs, id)
+			}
+			s.doneOrder = append(s.doneOrder[:0], s.doneOrder[evict:]...)
+		}
+	}
+	s.mu.Unlock()
+	fs.End()
+	latency := time.Since(j.created).Seconds()
+	s.slo.Record(latency, err == nil)
+	s.logJob(j, latency)
 }
 
 // observe records one executed job's wall latency under each
@@ -434,23 +534,182 @@ func (s *Server) observe(j *Job, sec float64) {
 	}
 }
 
+// ---- admission ----
+
+// admitError is a refused submission, carrying enough for the HTTP
+// handler to answer (status, message, optional Retry-After).
+type admitError struct {
+	status     int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *admitError) Error() string { return e.msg }
+
+// admit routes a canonical spec into the server: born done from the
+// result cache, refused (breaker open, queue full, shutting down), or
+// registered and queued. Counters move under the same mutex hold that
+// makes the decision, and a job is counted accepted before it can
+// possibly complete, so scrapes never see jobs_completed >
+// jobs_accepted (and never see a counter move backwards).
+func (s *Server) admit(spec *JobSpec, ro *reqObs) (*Job, *admitError) {
+	hash := spec.Hash()
+
+	lookup := ro.span("cache_lookup")
+	data, hit := s.cache.Get(hash)
+	lookup.SetAttr("hit", fmt.Sprint(hit))
+	lookup.End()
+	if hit {
+		// Served from the result cache: the job is born done.
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			return nil, &admitError{status: http.StatusServiceUnavailable, msg: "server is shutting down"}
+		}
+		j := s.registerJobLocked(spec, hash)
+		s.accepted++
+		s.mu.Unlock()
+		j.attachObs(ro)
+		s.finish(j, data, true, nil)
+		return j, nil
+	}
+
+	// Executions are gated by the per-experiment circuit breaker;
+	// cached results (above) stay served even while a circuit is open.
+	brk := ro.span("breaker")
+	wait, key, allowed := s.breaker.allow(breakerKeys(spec))
+	brk.End()
+	if !allowed {
+		ro.span("breaker_reject").SetAttr("experiment", key)
+		s.slo.Record(0, false)
+		if s.logger != nil {
+			s.logger.Warn("job rejected", "reason", "breaker_open", "experiment", key)
+		}
+		return nil, &admitError{
+			status:     http.StatusServiceUnavailable,
+			msg:        fmt.Sprintf("circuit breaker for experiment %q is open after repeated failures; retry later", key),
+			retryAfter: wait,
+		}
+	}
+
+	enq := ro.span("enqueue")
+	defer enq.End()
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return nil, &admitError{status: http.StatusServiceUnavailable, msg: "server is shutting down"}
+	}
+	j := s.registerJobLocked(spec, hash)
+	// Observability state attaches before the push: once the job is in
+	// the queue a worker may touch its spans at any moment.
+	j.attachObs(ro)
+	j.spanQueue = j.root.Child("queue_wait")
+	if !s.queue.TryPush(j) {
+		delete(s.jobs, j.ID)
+		s.rejected++
+		s.mu.Unlock()
+		if j.cancel != nil {
+			j.cancel()
+		}
+		j.spanQueue.End()
+		if ro != nil {
+			ro.jobID = "" // the job never existed as far as clients can tell
+		}
+		s.slo.Record(0, false)
+		if s.logger != nil {
+			s.logger.Warn("job rejected", "reason", "queue_full", "queue_capacity", s.queue.Cap())
+		}
+		return nil, &admitError{
+			status:     http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("job queue is full (%d queued); retry later", s.queue.Cap()),
+			retryAfter: time.Second,
+		}
+	}
+	// Same critical section as the push: the job cannot reach a
+	// terminal state (the worker side takes this mutex) before it is
+	// counted accepted, so scrapes never see completed > accepted.
+	s.accepted++
+	s.mu.Unlock()
+	return j, nil
+}
+
+// registerJobLocked creates and registers a fresh job. Caller holds
+// s.mu and has already refused shutdown.
+func (s *Server) registerJobLocked(spec *JobSpec, hash string) *Job {
+	s.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%06d", s.seq),
+		Hash:    hash,
+		Spec:    spec,
+		status:  StatusQueued,
+		done:    make(chan struct{}),
+		created: time.Now(),
+	}
+	// The deadline clock starts now: queue wait and execution share
+	// the same budget, so a job can't sit queued forever and then
+	// still claim a full execution timeout.
+	j.ctx, j.cancel = context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	s.jobs[j.ID] = j
+	return j
+}
+
+// RunSync submits a spec in-process — no HTTP — and blocks until the
+// job reaches a terminal state (or ctx expires). The job takes the
+// same admission, queue, singleflight, and span-capture path a
+// network submission takes; traceID seeds the trace (empty draws a
+// fresh ID). jadebench -spans and BenchmarkServeJob measure the
+// serving path through this.
+func (s *Server) RunSync(ctx context.Context, spec *JobSpec, traceID string) (*JobStatus, error) {
+	val := (*reqObs)(nil)
+	if s.obsEnabled() {
+		val = s.newReqObs(traceID, "request")
+		val.root.SetAttr("source", "in-process")
+	}
+	sv := val.span("validate")
+	if err := spec.Canonicalize(); err != nil {
+		sv.End()
+		return nil, err
+	}
+	sv.End()
+	j, aerr := s.admit(spec, val)
+	if aerr != nil {
+		return nil, aerr
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if val != nil {
+		val.root.End()
+	}
+	return s.statusDoc(j, true), nil
+}
+
 // ---- handlers ----
 
 // maxSpecBytes bounds a job-spec request body.
 const maxSpecBytes = 1 << 20
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	ro := obsFromContext(r.Context())
+
+	recv := ro.span("receive")
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
-	if err := dec.Decode(&spec); err != nil {
+	err := dec.Decode(&spec)
+	recv.End()
+	if err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid job spec JSON: "+err.Error())
 		return
 	}
-	if err := spec.Canonicalize(); err != nil {
+	val := ro.span("validate")
+	err = spec.Canonicalize()
+	val.End()
+	if err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	hash := spec.Hash()
 	sync := r.URL.Query().Get("sync") == "1"
 	if sync && spec.Scale != string(experiments.Small) {
 		writeErr(w, http.StatusBadRequest,
@@ -458,44 +717,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Served from the result cache: the job is born done.
-	if data, ok := s.cache.Get(hash); ok {
-		j, err := s.newJob(&spec, hash)
-		if err != nil {
-			writeErr(w, http.StatusServiceUnavailable, err.Error())
-			return
+	j, aerr := s.admit(&spec, ro)
+	if aerr != nil {
+		if aerr.retryAfter > 0 {
+			w.Header().Set("Retry-After", retryAfterSecs(aerr.retryAfter))
 		}
-		s.finish(j, data, true, nil)
+		writeErr(w, aerr.status, aerr.msg)
+		return
+	}
+	if isDone(j) {
+		// Born done from the result cache.
 		writeJSON(w, http.StatusOK, s.statusDoc(j, true))
-		return
-	}
-
-	// Executions are gated by the per-experiment circuit breaker;
-	// cached results (above) stay served even while a circuit is open.
-	if wait, key, ok := s.breaker.allow(breakerKeys(&spec)); !ok {
-		w.Header().Set("Retry-After", retryAfterSecs(wait))
-		writeErr(w, http.StatusServiceUnavailable, fmt.Sprintf(
-			"circuit breaker for experiment %q is open after repeated failures; retry later", key))
-		return
-	}
-
-	j, err := s.newJob(&spec, hash)
-	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err.Error())
-		return
-	}
-	if !s.queue.TryPush(j) {
-		s.mu.Lock()
-		delete(s.jobs, j.ID)
-		s.accepted--
-		s.rejected++
-		s.mu.Unlock()
-		if j.cancel != nil {
-			j.cancel()
-		}
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests,
-			fmt.Sprintf("job queue is full (%d queued); retry later", s.queue.Cap()))
 		return
 	}
 	if !sync {
@@ -519,6 +751,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// isDone reports whether a job already reached a terminal state.
+func isDone(j *Job) bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // retryAfterSecs renders a duration as a Retry-After header value
 // (whole seconds, minimum 1).
 func retryAfterSecs(d time.Duration) string {
@@ -527,30 +769,6 @@ func retryAfterSecs(d time.Duration) string {
 		secs = 1
 	}
 	return fmt.Sprint(secs)
-}
-
-// newJob registers a fresh queued job, refusing during shutdown.
-func (s *Server) newJob(spec *JobSpec, hash string) (*Job, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.shutdown {
-		return nil, fmt.Errorf("server is shutting down")
-	}
-	s.seq++
-	j := &Job{
-		ID:     fmt.Sprintf("job-%06d", s.seq),
-		Hash:   hash,
-		Spec:   spec,
-		status: StatusQueued,
-		done:   make(chan struct{}),
-	}
-	// The deadline clock starts now: queue wait and execution share
-	// the same budget, so a job can't sit queued forever and then
-	// still claim a full execution timeout.
-	j.ctx, j.cancel = context.WithTimeout(context.Background(), s.cfg.JobTimeout)
-	s.jobs[j.ID] = j
-	s.accepted++
-	return j, nil
 }
 
 // statusDoc snapshots a job into its response document.
@@ -563,6 +781,7 @@ func (s *Server) statusDoc(j *Job, includeResult bool) *JobStatus {
 		Status:    j.status,
 		SpecHash:  j.Hash,
 		CacheHit:  j.cacheHit,
+		TraceID:   j.trace.ID(),
 		Error:     j.errMsg,
 		ErrorCode: j.errCode,
 		Spec:      j.Spec,
@@ -604,32 +823,50 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Health{Status: "ok", UptimeSec: time.Since(s.start).Seconds()})
+	h := Health{Status: "ok", UptimeSec: time.Since(s.start).Seconds()}
+	if s.slo != nil {
+		st := s.slo.Status()
+		h.SLO = &st
+		if st.Exhausted {
+			// The availability error budget is spent: the service is
+			// still alive but should be taken out of rotation until
+			// the window recovers.
+			h.Status = "degraded"
+			writeJSON(w, http.StatusServiceUnavailable, h)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// metricsDoc snapshots the serving metrics. Every counter the mutex
+// guards is read under one hold, so a scrape sees a consistent set
+// (never jobs_completed > jobs_accepted); queue, cache, breaker, and
+// SLO gauges have their own locks and are point-in-time reads.
+func (s *Server) metricsDoc() Metrics {
 	hits, misses := s.cache.Stats()
 	s.mu.Lock()
 	m := Metrics{
-		Schema:            MetricsSchema,
-		UptimeSec:         time.Since(s.start).Seconds(),
-		QueueDepth:        s.queue.Len(),
-		QueueCapacity:     s.queue.Cap(),
-		Workers:           s.cfg.Workers,
-		BusyWorkers:       s.busy,
-		WorkerUtilization: float64(s.busy) / float64(s.cfg.Workers),
-		JobsAccepted:      s.accepted,
-		JobsCompleted:     s.completed,
-		JobsFailed:        s.failed,
-		JobsRejected:      s.rejected,
-		JobsDeduped:       s.deduped,
-		JobsRetried:       s.retried,
-		JobsPanicked:      s.panicked,
-		CacheEntries:      s.cache.Len(),
-		CacheHits:         hits,
-		CacheMisses:       misses,
-		GraphCache:        experiments.GraphCacheStats(),
-		ExperimentLatency: make(map[string]obsv.LatencySummary, len(s.latency)),
+		Schema:             MetricsSchema,
+		UptimeSec:          time.Since(s.start).Seconds(),
+		QueueDepth:         s.queue.Len(),
+		QueueCapacity:      s.queue.Cap(),
+		Workers:            s.cfg.Workers,
+		BusyWorkers:        s.busy,
+		WorkerUtilization:  float64(s.busy) / float64(s.cfg.Workers),
+		JobsAccepted:       s.accepted,
+		JobsCompleted:      s.completed,
+		JobsFailed:         s.failed,
+		JobsRejected:       s.rejected,
+		JobsDeduped:        s.deduped,
+		JobsRetried:        s.retried,
+		JobsPanicked:       s.panicked,
+		BreakerTransitions: s.breakerTransitions,
+		CacheEntries:       s.cache.Len(),
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		GraphCache:         experiments.GraphCacheStats(),
+		ExperimentLatency:  make(map[string]obsv.LatencySummary, len(s.latency)),
 	}
 	if hits+misses > 0 {
 		m.CacheHitRate = float64(hits) / float64(hits+misses)
@@ -639,5 +876,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	m.CircuitBreakers = s.breaker.snapshot()
-	writeJSON(w, http.StatusOK, m)
+	if s.slo != nil {
+		st := s.slo.Status()
+		m.SLO = &st
+	}
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		s.writeProm(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metricsDoc())
 }

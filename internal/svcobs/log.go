@@ -1,0 +1,48 @@
+package svcobs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Log formats accepted by NewLogger.
+const (
+	LogFormatJSON = "json"
+	LogFormatText = "text"
+)
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// NewLogger builds a structured logger writing to w. format is "json"
+// (the default — one JSON object per line, machine-parseable) or
+// "text" (slog key=value). level gates emission; records below it
+// cost only the level check.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case LogFormatJSON, "":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case LogFormatText:
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want json or text)", format)
+}

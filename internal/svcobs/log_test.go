@@ -1,0 +1,56 @@
+package svcobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestNewLoggerJSONCorrelated(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hidden")
+	lg.With("trace_id", "abc123").Info("request", "status", 200)
+	if buf.Len() == 0 {
+		t.Fatal("info record not emitted")
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not one JSON object: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "request" || rec["trace_id"] != "abc123" || rec["status"] != float64(200) {
+		t.Fatalf("record = %v", rec)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("hidden")) {
+		t.Fatal("debug record leaked at info level")
+	}
+
+	if _, err := NewLogger(&buf, "info", "yaml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if lg, err := NewLogger(&buf, "", ""); err != nil || lg == nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+}

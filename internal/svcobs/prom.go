@@ -1,0 +1,141 @@
+package svcobs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/obsv"
+)
+
+// This file renders metrics in the Prometheus text exposition format
+// (version 0.0.4): "# HELP"/"# TYPE" headers followed by sample
+// lines. The serving process keeps its counters in plain Go state; a
+// scrape walks them through a PromWriter, so there is no metrics
+// registry and no dependency — the format is simple enough to emit
+// (and to verify: see internal/tools/promcheck) by hand.
+
+// Label is one key="value" pair on a sample.
+type Label struct{ Name, Value string }
+
+// PromWriter emits Prometheus text-format metrics. HELP/TYPE headers
+// are written once per metric name, on first use, so callers must
+// emit all series of one name consecutively (histogram series with
+// different label sets, for example).
+type PromWriter struct {
+	w     io.Writer
+	typed map[string]bool
+	err   error
+}
+
+// NewPromWriter wraps w. Errors stick: the first write failure stops
+// output and is reported by Err.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, typed: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// header emits the HELP/TYPE pair once per metric name.
+func (p *PromWriter) header(name, help, typ string) {
+	if p.typed[name] {
+		return
+	}
+	p.typed[name] = true
+	p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// sample emits one sample line.
+func (p *PromWriter) sample(name string, labels []Label, v float64) {
+	p.printf("%s%s %s\n", name, renderLabels(labels), formatValue(v))
+}
+
+// Counter emits a monotonically-increasing cumulative metric. By
+// convention the name ends in _total.
+func (p *PromWriter) Counter(name, help string, v float64, labels ...Label) {
+	p.header(name, help, "counter")
+	p.sample(name, labels, v)
+}
+
+// Gauge emits a point-in-time value.
+func (p *PromWriter) Gauge(name, help string, v float64, labels ...Label) {
+	p.header(name, help, "gauge")
+	p.sample(name, labels, v)
+}
+
+// Histogram renders an obsv.Histogram as a Prometheus histogram:
+// cumulative _bucket series for each occupied bucket upper bound plus
+// the mandatory le="+Inf", then _sum and _count. Quantiles are left
+// to the scraper (histogram_quantile over the buckets).
+func (p *PromWriter) Histogram(name, help string, h *obsv.Histogram, labels ...Label) {
+	p.header(name, help, "histogram")
+	var cum uint64
+	if h != nil {
+		for _, b := range h.Buckets() {
+			cum += b.Count
+			le := append(append([]Label(nil), labels...),
+				Label{"le", formatValue(b.UpperSec)})
+			p.sample(name+"_bucket", le, float64(cum))
+		}
+	}
+	inf := append(append([]Label(nil), labels...), Label{"le", "+Inf"})
+	var count uint64
+	var sum float64
+	if h != nil {
+		count = h.Count()
+		sum = h.Sum()
+	}
+	p.sample(name+"_bucket", inf, float64(count))
+	p.sample(name+"_sum", labels, sum)
+	p.sample(name+"_count", labels, float64(count))
+}
+
+// renderLabels formats {a="x",b="y"}; empty input renders nothing.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// formatValue renders a float the way Prometheus expects (shortest
+// round-trip form; integral values without an exponent where
+// possible).
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,123 @@
+package svcobs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+func TestPromWriterCountersAndGauges(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Counter("jaded_jobs_accepted_total", "Jobs accepted.", 42)
+	p.Gauge("jaded_queue_depth", "Queued jobs.", 3)
+	p.Gauge("jaded_breaker_state", "Circuit state.", 1,
+		Label{"experiment", "table4"}, Label{"state", "open"})
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP jaded_jobs_accepted_total Jobs accepted.\n",
+		"# TYPE jaded_jobs_accepted_total counter\n",
+		"jaded_jobs_accepted_total 42\n",
+		"# TYPE jaded_queue_depth gauge\n",
+		"jaded_queue_depth 3\n",
+		`jaded_breaker_state{experiment="table4",state="open"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromWriterHeaderOncePerName(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Gauge("m", "help", 1, Label{"k", "a"})
+	p.Gauge("m", "help", 2, Label{"k", "b"})
+	if got := strings.Count(sb.String(), "# TYPE m gauge"); got != 1 {
+		t.Fatalf("TYPE emitted %d times, want 1:\n%s", got, sb.String())
+	}
+}
+
+func TestPromWriterLabelEscaping(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Gauge("m", "h", 1, Label{"k", "a\"b\\c\nd"})
+	if !strings.Contains(sb.String(), `{k="a\"b\\c\nd"}`) {
+		t.Fatalf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+// TestPromWriterHistogram pins the cumulative _bucket/_sum/_count
+// rendering of an obsv.Histogram.
+func TestPromWriterHistogram(t *testing.T) {
+	var h obsv.Histogram
+	for _, v := range []float64{0.001, 0.001, 0.01, 0.1} {
+		h.Record(v)
+	}
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Histogram("jaded_job_latency_seconds", "Job latency.", &h,
+		Label{"experiment", "_job"})
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# TYPE jaded_job_latency_seconds histogram") {
+		t.Fatalf("missing TYPE histogram:\n%s", out)
+	}
+	if !strings.Contains(out, `jaded_job_latency_seconds_bucket{experiment="_job",le="+Inf"} 4`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `jaded_job_latency_seconds_count{experiment="_job"} 4`) {
+		t.Fatalf("missing _count:\n%s", out)
+	}
+	sumLine := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `jaded_job_latency_seconds_sum`) {
+			sumLine = line
+		}
+	}
+	if sumLine == "" {
+		t.Fatalf("missing _sum:\n%s", out)
+	}
+	sum, err := strconv.ParseFloat(sumLine[strings.LastIndexByte(sumLine, ' ')+1:], 64)
+	if err != nil || sum < 0.1119 || sum > 0.1121 {
+		t.Fatalf("_sum = %q (%v)", sumLine, err)
+	}
+	// Bucket counts must be cumulative and non-decreasing in le order.
+	var last float64 = -1
+	buckets := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "jaded_job_latency_seconds_bucket") {
+			continue
+		}
+		buckets++
+		v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			t.Fatalf("bad sample line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative: %q after %g", line, last)
+		}
+		last = v
+	}
+	// 3 occupied buckets + +Inf.
+	if buckets != 4 {
+		t.Fatalf("bucket lines = %d, want 4:\n%s", buckets, out)
+	}
+
+	// An empty (or nil) histogram still renders a valid series.
+	sb.Reset()
+	p = NewPromWriter(&sb)
+	p.Histogram("empty_seconds", "h", nil)
+	out = sb.String()
+	if !strings.Contains(out, `empty_seconds_bucket{le="+Inf"} 0`) ||
+		!strings.Contains(out, "empty_seconds_count 0") {
+		t.Fatalf("nil histogram rendering:\n%s", out)
+	}
+}

@@ -1,0 +1,191 @@
+package svcobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced wall clock.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" {
+		t.Fatal("nil trace has an ID")
+	}
+	root := tr.Root("request")
+	if root != nil {
+		t.Fatal("nil trace returned a span")
+	}
+	// Every span method must no-op on nil.
+	root.SetAttr("k", "v")
+	child := root.Child("phase")
+	child.End()
+	root.End()
+	if tr.Doc("job-1") != nil {
+		t.Fatal("nil trace exported a doc")
+	}
+	var slo *SLO
+	slo.Record(1, true)
+	st := slo.Status()
+	if st.Exhausted || !st.P99Met {
+		t.Fatalf("nil SLO status = %+v", st)
+	}
+}
+
+func TestTraceIDValidation(t *testing.T) {
+	for id, want := range map[string]string{
+		"abc-123_X.9": "abc-123_X.9",
+		"":            "",
+		"has space":   "",
+		"quote\"":     "",
+		"newline\n":   "",
+	} {
+		if got := CleanTraceID(id); got != want {
+			t.Errorf("CleanTraceID(%q) = %q, want %q", id, got, want)
+		}
+	}
+	if got := CleanTraceID(string(make([]byte, 65))); got != "" {
+		t.Error("65-byte ID accepted")
+	}
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("NewTraceID: %q, %q", a, b)
+	}
+	if CleanTraceID(a) != a {
+		t.Fatalf("generated ID %q does not pass validation", a)
+	}
+}
+
+// TestSpanTreeExport pins the jade-span/v1 document: nesting,
+// durations, attrs, and the parent-covers-children guarantee.
+func TestSpanTreeExport(t *testing.T) {
+	clock := newFakeClock()
+	tr := NewTrace("trace-1")
+	tr.SetClock(clock.now)
+
+	root := tr.Root("request")
+	root.SetAttr("method", "POST")
+	clock.advance(10 * time.Millisecond)
+	q := root.Child("queue_wait")
+	clock.advance(20 * time.Millisecond)
+	q.End()
+	ex := root.Child("execute")
+	att := ex.Child("attempt-1")
+	clock.advance(50 * time.Millisecond)
+	att.End()
+	ex.End()
+	root.End()
+
+	doc := tr.Doc("job-7")
+	if doc.Schema != SpanSchema || doc.TraceID != "trace-1" || doc.JobID != "job-7" {
+		t.Fatalf("doc header = %+v", doc)
+	}
+	if doc.Root.Name != "request" || doc.Root.Attrs["method"] != "POST" {
+		t.Fatalf("root = %+v", doc.Root)
+	}
+	if got := doc.Root.DurationSec; got != 0.08 {
+		t.Fatalf("root duration = %g, want 0.08", got)
+	}
+	qd, exd := doc.Root.Phase("queue_wait"), doc.Root.Phase("execute")
+	if qd == nil || exd == nil {
+		t.Fatalf("phases missing: %+v", doc.Root.Children)
+	}
+	if qd.DurationSec != 0.02 || exd.DurationSec != 0.05 {
+		t.Fatalf("phase durations = %g/%g, want 0.02/0.05", qd.DurationSec, exd.DurationSec)
+	}
+	// Internal consistency: children within the parent; phase sum ≤ total.
+	if qd.DurationSec+exd.DurationSec > doc.Root.DurationSec {
+		t.Fatal("queue_wait + execute exceed the request total")
+	}
+	for _, c := range doc.Root.Children {
+		if c.StartUnixNs < doc.Root.StartUnixNs {
+			t.Fatalf("child %s starts before its parent", c.Name)
+		}
+		if c.endTime().After(doc.Root.endTime()) {
+			t.Fatalf("child %s ends after its parent", c.Name)
+		}
+	}
+	if exd.Phase("attempt-1") == nil || exd.Phase("attempt-1").DurationSec != 0.05 {
+		t.Fatalf("attempt sub-span missing or wrong: %+v", exd.Children)
+	}
+	dur := doc.PhaseDurations()
+	if dur["queue_wait"] != 0.02 || dur["execute"] != 0.05 {
+		t.Fatalf("PhaseDurations = %v", dur)
+	}
+}
+
+// TestSpanParentExtendedOverLateChildren pins the async case: a root
+// ended before its child (HTTP response written while the job still
+// runs) is stretched at export so the tree still nests.
+func TestSpanParentExtendedOverLateChildren(t *testing.T) {
+	clock := newFakeClock()
+	tr := NewTrace("t")
+	tr.SetClock(clock.now)
+	root := tr.Root("request")
+	job := root.Child("execute")
+	clock.advance(5 * time.Millisecond)
+	root.End() // response written
+	clock.advance(95 * time.Millisecond)
+	job.End() // job finishes later
+
+	doc := tr.Doc("")
+	if got := doc.Root.DurationSec; got != 0.1 {
+		t.Fatalf("root duration = %g, want extended to 0.1", got)
+	}
+	// An open span exports as ending "now" rather than being dropped.
+	tr2 := NewTrace("t2")
+	tr2.SetClock(clock.now)
+	r2 := tr2.Root("request")
+	r2.Child("queue_wait") // never ended
+	clock.advance(30 * time.Millisecond)
+	if d := tr2.Doc("").Root.Phase("queue_wait"); d == nil || d.DurationSec != 0.03 {
+		t.Fatalf("open span export = %+v", d)
+	}
+}
+
+func TestSpanDocPerfettoExport(t *testing.T) {
+	clock := newFakeClock()
+	tr := NewTrace("abc")
+	tr.SetClock(clock.now)
+	root := tr.Root("request")
+	c := root.Child("execute")
+	clock.advance(time.Millisecond)
+	c.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.Doc("job-1").WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("perfetto export is not JSON: %v", err)
+	}
+	var haveReq, haveExec bool
+	for _, e := range out.TraceEvents {
+		if e.Name == "request" && e.Ph == "X" {
+			haveReq = true
+		}
+		if e.Name == "execute" && e.Ph == "X" && e.Dur == 1000 {
+			haveExec = true
+		}
+	}
+	if !haveReq || !haveExec {
+		t.Fatalf("perfetto events missing: %s", buf.String())
+	}
+}

@@ -1,0 +1,50 @@
+// Command promcheck validates that stdin is well-formed Prometheus
+// text exposition format (version 0.0.4) and that it contains every
+// metric family named on the command line. It exists so ci.sh can
+// smoke-test jaded's /metricz?format=prom endpoint without depending
+// on promtool being installed.
+//
+// Checks performed on the whole input, beyond the presence list:
+//
+//   - every line is a comment, a blank, or a `name{labels} value` sample
+//   - metric and label names match the Prometheus grammar
+//   - label values use valid \" \\ \n escapes
+//   - sample values parse as floats
+//   - HELP and TYPE appear at most once per family, before its samples
+//   - families TYPEd histogram carry _bucket/_sum/_count series, the
+//     buckets are cumulative in le order, and the +Inf bucket equals
+//     the count
+//   - counter samples are non-negative
+//
+// Usage:
+//
+//	curl -s localhost:8274/metricz?format=prom |
+//	    go run ./internal/tools/promcheck jaded_jobs_accepted_total jaded_job_latency_seconds
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/tools/promcheck/promtext"
+)
+
+func main() {
+	res, err := promtext.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+		os.Exit(1)
+	}
+	missing := 0
+	for _, name := range os.Args[1:] {
+		if !res.Has(name) {
+			fmt.Fprintf(os.Stderr, "promcheck: metric family %q missing\n", name)
+			missing++
+		}
+	}
+	if missing > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: ok (%d families, %d samples, %d required present)\n",
+		len(res.Families), res.Samples, len(os.Args[1:]))
+}

@@ -1,0 +1,405 @@
+// Package promtext is a minimal parser/validator for the Prometheus
+// text exposition format (version 0.0.4) — just enough to smoke-test
+// a /metricz?format=prom endpoint without a promtool dependency. It
+// validates line grammar, name/label syntax, HELP/TYPE placement, and
+// histogram-family invariants (cumulative buckets, +Inf == _count).
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Family is one metric family accumulated from the input.
+type Family struct {
+	Name string
+	Type string // counter, gauge, histogram, summary, untyped ("" when no TYPE line)
+	Help bool
+	// Samples maps the full label string (as written, e.g.
+	// `{experiment="_job",le="+Inf"}`) to the parsed value, per sample
+	// name (which for histograms includes the _bucket/_sum/_count
+	// suffix).
+	Samples map[string]map[string]float64
+}
+
+// Result is the parsed exposition.
+type Result struct {
+	Families map[string]*Family
+	Samples  int
+}
+
+// Has reports whether the named family carries at least one sample.
+// Histogram families answer for their base name.
+func (r *Result) Has(name string) bool {
+	f, ok := r.Families[name]
+	return ok && len(f.Samples) > 0
+}
+
+// histSuffix maps a sample name to its histogram/summary base name.
+func histSuffix(name string) (base, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) {
+			return strings.TrimSuffix(name, s), s
+		}
+	}
+	return name, ""
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	return validName(s) && !strings.Contains(s, ":")
+}
+
+// Parse reads one exposition and validates it whole.
+func Parse(r io.Reader) (*Result, error) {
+	res := &Result{Families: make(map[string]*Family)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		switch {
+		case strings.TrimSpace(text) == "":
+			continue
+		case strings.HasPrefix(text, "#"):
+			if err := res.comment(text, line); err != nil {
+				return nil, err
+			}
+		default:
+			if err := res.sample(text, line); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := res.checkHistograms(); err != nil {
+		return nil, err
+	}
+	if err := res.checkCounters(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// family returns (creating) the family record a sample or comment
+// line belongs to, folding histogram suffixes onto the base family
+// once the base is TYPEd histogram.
+func (r *Result) family(name string) *Family {
+	if base, suffix := histSuffix(name); suffix != "" {
+		if f, ok := r.Families[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+			return f
+		}
+	}
+	f := r.Families[name]
+	if f == nil {
+		f = &Family{Name: name, Samples: make(map[string]map[string]float64)}
+		r.Families[name] = f
+	}
+	return f
+}
+
+func (r *Result) comment(text string, line int) error {
+	fields := strings.SplitN(text, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validName(fields[2]) {
+			return fmt.Errorf("line %d: malformed HELP line: %s", line, text)
+		}
+		f := r.family(fields[2])
+		if f.Help {
+			return fmt.Errorf("line %d: second HELP for family %s", line, fields[2])
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("line %d: HELP for %s after its samples", line, fields[2])
+		}
+		f.Help = true
+	case "TYPE":
+		if len(fields) < 4 || !validName(fields[2]) {
+			return fmt.Errorf("line %d: malformed TYPE line: %s", line, text)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("line %d: unknown metric type %q", line, typ)
+		}
+		f := r.family(name)
+		if f.Type != "" {
+			return fmt.Errorf("line %d: second TYPE for family %s", line, name)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("line %d: TYPE for %s after its samples", line, name)
+		}
+		f.Type = typ
+	}
+	return nil
+}
+
+func (r *Result) sample(text string, line int) error {
+	rest := text
+	// Metric name runs to '{' or the first space.
+	nameEnd := strings.IndexAny(rest, "{ ")
+	if nameEnd <= 0 {
+		return fmt.Errorf("line %d: malformed sample line: %s", line, text)
+	}
+	name := rest[:nameEnd]
+	if !validName(name) {
+		return fmt.Errorf("line %d: invalid metric name %q", line, name)
+	}
+	rest = rest[nameEnd:]
+	labels := ""
+	if rest[0] == '{' {
+		end, err := scanLabels(rest, line)
+		if err != nil {
+			return err
+		}
+		labels, rest = rest[:end], rest[end:]
+	}
+	valueFields := strings.Fields(rest)
+	if len(valueFields) < 1 || len(valueFields) > 2 {
+		return fmt.Errorf("line %d: want `value [timestamp]` after %s%s: %s", line, name, labels, text)
+	}
+	value, err := strconv.ParseFloat(valueFields[0], 64)
+	if err != nil {
+		return fmt.Errorf("line %d: sample value %q is not a float", line, valueFields[0])
+	}
+	if len(valueFields) == 2 {
+		if _, err := strconv.ParseInt(valueFields[1], 10, 64); err != nil {
+			return fmt.Errorf("line %d: timestamp %q is not an integer", line, valueFields[1])
+		}
+	}
+	f := r.family(name)
+	bySeries := f.Samples[name]
+	if bySeries == nil {
+		bySeries = make(map[string]float64)
+		f.Samples[name] = bySeries
+	}
+	if _, dup := bySeries[labels]; dup {
+		return fmt.Errorf("line %d: duplicate series %s%s", line, name, labels)
+	}
+	bySeries[labels] = value
+	r.Samples++
+	return nil
+}
+
+// scanLabels validates a `{k="v",...}` block and returns the index
+// just past the closing brace.
+func scanLabels(s string, line int) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("line %d: unterminated label block", line)
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		// label name
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j >= len(s) || !validLabelName(s[i:j]) {
+			return 0, fmt.Errorf("line %d: invalid label name in %q", line, s)
+		}
+		i = j + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("line %d: label value must be quoted in %q", line, s)
+		}
+		i++ // past opening quote
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("line %d: unterminated label value", line)
+			}
+			if s[i] == '\\' {
+				if i+1 >= len(s) || (s[i+1] != '"' && s[i+1] != '\\' && s[i+1] != 'n') {
+					return 0, fmt.Errorf("line %d: invalid escape in label value", line)
+				}
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				i++
+				break
+			}
+			i++
+		}
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// unescape decodes a label value's \" \\ \n escapes. The input has
+// been validated by scanLabels.
+func unescape(s string) string {
+	if !strings.Contains(s, "\\") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			if s[i] == 'n' {
+				b.WriteByte('\n')
+			} else {
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// splitSeries breaks a validated label string into pairs.
+func splitSeries(labels string) map[string]string {
+	out := make(map[string]string)
+	if labels == "" {
+		return out
+	}
+	s := labels[1 : len(labels)-1] // strip braces
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		name := s[:eq]
+		s = s[eq+2:] // past ="
+		end := 0
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		out[name] = unescape(s[:end])
+		s = s[end+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out
+}
+
+// checkHistograms verifies every TYPEd histogram family: buckets
+// cumulative in le order, +Inf present and equal to _count.
+func (r *Result) checkHistograms() error {
+	for _, f := range r.Families {
+		if f.Type != "histogram" {
+			continue
+		}
+		buckets := f.Samples[f.Name+"_bucket"]
+		counts := f.Samples[f.Name+"_count"]
+		if len(buckets) == 0 || len(counts) == 0 || len(f.Samples[f.Name+"_sum"]) == 0 {
+			return fmt.Errorf("histogram %s: missing _bucket, _sum, or _count series", f.Name)
+		}
+		// Group buckets by their label set minus le.
+		type bucket struct {
+			le    float64
+			count float64
+		}
+		groups := make(map[string][]bucket)
+		for series, v := range buckets {
+			lbls := splitSeries(series)
+			leStr, ok := lbls["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket series %s has no le label", f.Name, series)
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("histogram %s: le=%q is not a float", f.Name, leStr)
+			}
+			delete(lbls, "le")
+			groups[canonicalLabels(lbls)] = append(groups[canonicalLabels(lbls)], bucket{le, v})
+		}
+		countsByGroup := make(map[string]float64)
+		for series, v := range counts {
+			countsByGroup[canonicalLabels(splitSeries(series))] = v
+		}
+		for key, bs := range groups {
+			sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+			last := math.Inf(-1)
+			prev := -1.0
+			for _, b := range bs {
+				if b.le == last {
+					return fmt.Errorf("histogram %s: duplicate le=%g", f.Name, b.le)
+				}
+				last = b.le
+				if b.count < prev {
+					return fmt.Errorf("histogram %s: bucket counts not cumulative at le=%g", f.Name, b.le)
+				}
+				prev = b.count
+			}
+			inf := bs[len(bs)-1]
+			if !math.IsInf(inf.le, 1) {
+				return fmt.Errorf("histogram %s: no le=\"+Inf\" bucket", f.Name)
+			}
+			total, ok := countsByGroup[key]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket series %q has no matching _count", f.Name, key)
+			}
+			if inf.count != total {
+				return fmt.Errorf("histogram %s: +Inf bucket %g != _count %g", f.Name, inf.count, total)
+			}
+		}
+	}
+	return nil
+}
+
+// canonicalLabels renders a label map in sorted order for grouping.
+func canonicalLabels(lbls map[string]string) string {
+	keys := make([]string, 0, len(lbls))
+	for k := range lbls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, lbls[k])
+	}
+	return b.String()
+}
+
+// checkCounters verifies counter samples are non-negative.
+func (r *Result) checkCounters() error {
+	for _, f := range r.Families {
+		if f.Type != "counter" {
+			continue
+		}
+		for name, series := range f.Samples {
+			for lbls, v := range series {
+				if v < 0 || math.IsNaN(v) {
+					return fmt.Errorf("counter %s%s = %g (counters are non-negative)", name, lbls, v)
+				}
+			}
+		}
+	}
+	return nil
+}

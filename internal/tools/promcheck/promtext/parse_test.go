@@ -1,0 +1,89 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+const good = `# HELP jaded_jobs_accepted_total Jobs admitted.
+# TYPE jaded_jobs_accepted_total counter
+jaded_jobs_accepted_total 42
+# TYPE jaded_queue_depth gauge
+jaded_queue_depth 3
+# TYPE jaded_breaker_open gauge
+jaded_breaker_open{experiment="table4"} 1
+jaded_breaker_open{experiment="fig10"} 0
+# HELP jaded_job_latency_seconds Job latency.
+# TYPE jaded_job_latency_seconds histogram
+jaded_job_latency_seconds_bucket{experiment="_job",le="0.001"} 1
+jaded_job_latency_seconds_bucket{experiment="_job",le="0.01"} 3
+jaded_job_latency_seconds_bucket{experiment="_job",le="+Inf"} 4
+jaded_job_latency_seconds_sum{experiment="_job"} 0.112
+jaded_job_latency_seconds_count{experiment="_job"} 4
+`
+
+func TestParseGood(t *testing.T) {
+	res, err := Parse(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"jaded_jobs_accepted_total", "jaded_queue_depth",
+		"jaded_breaker_open", "jaded_job_latency_seconds",
+	} {
+		if !res.Has(name) {
+			t.Errorf("family %q not found", name)
+		}
+	}
+	if res.Has("jaded_nope") {
+		t.Error("Has on an absent family")
+	}
+	if res.Samples != 9 {
+		t.Errorf("samples = %d, want 9", res.Samples)
+	}
+	if typ := res.Families["jaded_job_latency_seconds"].Type; typ != "histogram" {
+		t.Errorf("latency family type = %q", typ)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad name":          "9bad_name 1\n",
+		"bad value":         "m abc\n",
+		"missing value":     "m\n",
+		"unterminated":      "m{k=\"v\" 1\n",
+		"unquoted label":    "m{k=v} 1\n",
+		"bad label name":    "m{9k=\"v\"} 1\n",
+		"bad escape":        `m{k="a\q"} 1` + "\n",
+		"duplicate series":  "m{k=\"a\"} 1\nm{k=\"a\"} 2\n",
+		"double TYPE":       "# TYPE m gauge\n# TYPE m counter\nm 1\n",
+		"TYPE after sample": "m 1\n# TYPE m gauge\n",
+		"unknown type":      "# TYPE m widget\nm 1\n",
+		"negative counter":  "# TYPE m counter\nm -1\n",
+		"non-cumulative histogram": "# TYPE h histogram\n" +
+			`h_bucket{le="0.1"} 5` + "\n" + `h_bucket{le="+Inf"} 3` + "\n" +
+			"h_sum 1\nh_count 3\n",
+		"histogram missing +Inf": "# TYPE h histogram\n" +
+			`h_bucket{le="0.1"} 1` + "\n" + "h_sum 1\nh_count 1\n",
+		"histogram +Inf != count": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 3` + "\n" + "h_sum 1\nh_count 4\n",
+		"histogram missing sum": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 1` + "\n" + "h_count 1\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, in)
+		}
+	}
+}
+
+func TestParseAllowsExtras(t *testing.T) {
+	in := "# a bare comment\n\nm{k=\"a\\nb\"} 1 1700000000\n"
+	res, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Has("m") {
+		t.Fatal("family m missing")
+	}
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// This file renders arbitrary named spans — not just the machine
+// models' task events — in the same Chrome trace-event JSON that
+// WritePerfetto emits, so a server-side request trace (internal/
+// svcobs) and a simulator-side run trace open in the same Perfetto
+// UI. Spans on the same track that nest in time render nested in the
+// viewer; tracks map to Perfetto threads.
+
+// NamedSpan is one interval on a named track. Times are seconds from
+// an arbitrary common origin.
+type NamedSpan struct {
+	// Name labels the slice; Cat groups slices into a toggleable
+	// category (defaults to "span").
+	Name string
+	Cat  string
+	// Track selects the timeline row (Perfetto tid); TrackName, when
+	// non-empty on any span of a track, names the row.
+	Track     int
+	TrackName string
+	StartSec  float64
+	EndSec    float64
+	// Args become the slice's argument table in the viewer.
+	Args map[string]any
+}
+
+// WriteSpansPerfetto writes the spans as complete ("X") trace events.
+// Spans with EndSec < StartSec are dropped rather than invented.
+func WriteSpansPerfetto(w io.Writer, spans []NamedSpan) error {
+	out := perfettoFile{DisplayTimeUnit: "ms", TraceEvents: []perfettoEvent{}}
+
+	// One thread_name metadata record per named track, in track order
+	// so the output is deterministic.
+	names := map[int]string{}
+	for _, s := range spans {
+		if s.TrackName != "" && names[s.Track] == "" {
+			names[s.Track] = s.TrackName
+		}
+	}
+	tracks := make([]int, 0, len(names))
+	for tr := range names {
+		tracks = append(tracks, tr)
+	}
+	sort.Ints(tracks)
+	for _, tr := range tracks {
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tr,
+			Args: map[string]interface{}{"name": names[tr]},
+		})
+	}
+
+	for _, s := range spans {
+		if s.EndSec < s.StartSec {
+			continue
+		}
+		cat := s.Cat
+		if cat == "" {
+			cat = "span"
+		}
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: s.Name, Cat: cat, Ph: "X",
+			Ts: usec(s.StartSec), Dur: usec(s.EndSec - s.StartSec),
+			Pid: 0, Tid: s.Track, Args: s.Args,
+		})
+	}
+	return json.NewEncoder(w).Encode(&out)
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteSpansPerfetto(t *testing.T) {
+	spans := []NamedSpan{
+		{Name: "request", Track: 0, TrackName: "req abc", StartSec: 0, EndSec: 0.01,
+			Args: map[string]any{"trace_id": "abc"}},
+		{Name: "execute", Cat: "phase", Track: 0, StartSec: 0.002, EndSec: 0.008},
+		{Name: "dropped", Track: 0, StartSec: 0.5, EndSec: 0.4}, // negative duration
+	}
+	var buf bytes.Buffer
+	if err := WriteSpansPerfetto(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var meta, request, execute, dropped bool
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "thread_name":
+			meta = true
+			if e.Args["name"] != "req abc" {
+				t.Fatalf("track name = %v", e.Args["name"])
+			}
+		case e.Name == "request":
+			request = true
+			if e.Ph != "X" || e.Dur != 10000 { // 0.01s = 10000us
+				t.Fatalf("request event = %+v", e)
+			}
+			if e.Cat != "span" {
+				t.Fatalf("default category = %q, want span", e.Cat)
+			}
+		case e.Name == "execute":
+			execute = true
+			if e.Cat != "phase" || e.Ts != 2000 || e.Dur != 6000 {
+				t.Fatalf("execute event = %+v", e)
+			}
+		case e.Name == "dropped":
+			dropped = true
+		}
+	}
+	if !meta || !request || !execute {
+		t.Fatalf("missing events: meta=%v request=%v execute=%v", meta, request, execute)
+	}
+	if dropped {
+		t.Fatal("negative-duration span was not dropped")
+	}
+}
