@@ -138,3 +138,25 @@ func benchSweep(b *testing.B, cache bool) {
 // the gap is the front-end cost the cache removes.
 func BenchmarkSweepGraphReplay(b *testing.B) { benchSweep(b, true) }
 func BenchmarkSweepGraphDirect(b *testing.B) { benchSweep(b, false) }
+
+// The irregular SpMV workload on the PGAS machine, end to end, with
+// the remote-get coalescing layer off (every gather element is its own
+// message) and on (same-home gathers batched). The pair bounds both
+// the simulator's cost on an irregular access pattern and the event
+// count the aggregation layer removes.
+func benchPgasSpmv(b *testing.B, aggregation bool) {
+	spec := experiments.RunSpec{App: "spmv", Machine: "pgas", Aggregation: &aggregation}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := spec.Execute(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.TaskCount == 0 {
+			b.Fatal("empty SpMV run")
+		}
+	}
+}
+
+func BenchmarkPgasSpMV(b *testing.B)        { benchPgasSpmv(b, false) }
+func BenchmarkPgasAggregation(b *testing.B) { benchPgasSpmv(b, true) }

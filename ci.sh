@@ -28,6 +28,10 @@ if [ "${1:-}" = "bench" ]; then
             -benchmem -benchtime 0.2s ./internal/sim
         go test -run '^$' -bench '^BenchmarkTable([1-9]|1[0-4])$' \
             -benchmem -benchtime 0.2s .
+        # The PGAS pair bounds the simulator's cost on the irregular
+        # SpMV gather and the event count aggregation removes.
+        go test -run '^$' -bench '^BenchmarkPgas(SpMV|Aggregation)$' \
+            -benchmem -benchtime 0.2s .
         # The sweep pair backs a ratio claim (replay ≈ 2x direct), so
         # it gets a longer benchtime than the per-table gates.
         go test -run '^$' -bench '^BenchmarkSweepGraph(Replay|Direct)$' \
@@ -63,14 +67,25 @@ echo "== go test -race (concurrent packages) =="
 # The packages with real goroutine concurrency: the native machine,
 # the runtime that drives it, the jaded server/queue/cache (including
 # the retry/breaker paths), the parallel experiment fan-out, the
-# graph cache shared by concurrent runs, and the fault injector.
-go test -race ./internal/native ./internal/jade ./internal/jade/graph ./internal/serve ./internal/experiments ./internal/fault
+# graph cache shared by concurrent runs, and the fault injector. The
+# pgas machine and the spmv app ride along: both run inside the
+# parallel fan-out, so their determinism must hold under -race too.
+go test -race ./internal/native ./internal/jade ./internal/jade/graph ./internal/serve ./internal/experiments ./internal/fault ./internal/pgas ./internal/apps/spmv
 
 echo "== jadebench -json smoke =="
 # The emitted document must parse and carry the jadebench/v1 keys;
 # jsoncheck avoids a jq/python dependency.
 go run ./cmd/jadebench -experiment table4 -scale small -json |
     go run ./internal/tools/jsoncheck schema scale experiments runs
+
+echo "== jadebench pgas smoke =="
+# The three-machine comparison document must parse and carry the
+# jade-pgas/v1 keys: the app × machine grid, the SpMV aggregation
+# study, and the which-optimizations-transfer table.
+go run ./cmd/jadebench -pgas-report -scale small |
+    go run ./internal/tools/jsoncheck schema scale procs cells.0.app \
+        spmv_aggregation.msg_count_on spmv_aggregation.neutral_apps.0 \
+        transfers.0.optimization
 
 echo "== jadebench graph-cache smoke =="
 # Replaying cached task graphs must be invisible in the output: the

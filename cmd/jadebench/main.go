@@ -23,6 +23,16 @@
 // fault injection (jade-fault/v1): the same seed always reproduces the
 // same faulted execution, byte for byte. Requires -json.
 //
+// With -machine (requires -json), every instrumented run in the JSON
+// report executes on the named machine model (dash, ipsc, cluster, or
+// pgas) instead of the default mix; runs that become identical under
+// the override are collapsed.
+//
+// With -pgas-report, the three-machine comparison — every app on
+// dash, ipsc, and pgas, the SpMV aggregation study, and the
+// which-optimizations-transfer table — is emitted as a jade-pgas/v1
+// JSON document on stdout (see EXPERIMENTS.md for the schema).
+//
 // With -spans out.json (requires -json), the report is produced by
 // pushing the job through the in-process serving path — the same
 // admission, queue, and execution pipeline jaded runs — with span
@@ -61,6 +71,12 @@ func main() {
 		spansOut = flag.String("spans", "",
 			"write the job's jade-span/v1 lifecycle trace to this file, running the report "+
 				"through the in-process serving path; requires -json")
+		machine = flag.String("machine", "",
+			"run the instrumented runs of the JSON report on one machine model "+
+				"(dash, ipsc, cluster, or pgas) instead of the default mix; requires -json")
+		pgasReport = flag.Bool("pgas-report", false,
+			"emit the three-machine comparison (every app on dash, ipsc, and pgas) "+
+				"as a jade-pgas/v1 JSON document on stdout and exit")
 	)
 	flag.Parse()
 
@@ -93,6 +109,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
 		os.Exit(2)
 	}
+	switch *machine {
+	case "", "dash", "ipsc", "cluster", "pgas":
+	default:
+		fmt.Fprintf(os.Stderr, "jadebench: -machine must be dash, ipsc, cluster, or pgas (got %q)\n", *machine)
+		os.Exit(2)
+	}
+	if *machine != "" && !*jsonOut {
+		fmt.Fprintln(os.Stderr, "jadebench: -machine selects the machine for the instrumented runs of the JSON report; add -json")
+		os.Exit(2)
+	}
+	if *pgasReport {
+		rep, err := experiments.BuildPgasReport(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fspec, err := fault.ParseFlag(*faultStr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
@@ -110,6 +148,35 @@ func main() {
 		runs := experiments.DefaultRunSpecs()
 		for i := range runs {
 			runs[i].Fault = fspec
+			if *machine != "" {
+				runs[i].Machine = *machine
+				if *machine == "cluster" {
+					// The cluster has no locality levels; let
+					// canonicalization pick its defaults.
+					runs[i].Level = ""
+				}
+			}
+		}
+		if *machine != "" {
+			// Forcing one machine can make formerly distinct specs
+			// identical (SpMV appears once per machine by default);
+			// keep the first of each.
+			seen := map[string]bool{}
+			kept := runs[:0]
+			for _, r := range runs {
+				c := r
+				if err := c.Canonicalize(); err != nil {
+					fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
+					os.Exit(2)
+				}
+				key, _ := json.Marshal(c)
+				if seen[string(key)] {
+					continue
+				}
+				seen[string(key)] = true
+				kept = append(kept, r)
+			}
+			runs = kept
 		}
 		if *spansOut != "" {
 			if err := runTraced(ids, runs, scale, *spansOut); err != nil {

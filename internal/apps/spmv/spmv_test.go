@@ -1,0 +1,103 @@
+package spmv
+
+import (
+	"testing"
+
+	"repro/internal/dash"
+	"repro/internal/ipsc"
+	"repro/internal/jade"
+	"repro/internal/pgas"
+)
+
+func tiny() Config {
+	c := Small()
+	c.N = 96
+	c.Iterations = 2
+	return c
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	a := NewWorkload(tiny()).A
+	b := NewWorkload(tiny()).A
+	if a.NNZ() != b.NNZ() {
+		t.Fatalf("nondeterministic workload: %d vs %d nonzeros", a.NNZ(), b.NNZ())
+	}
+	for k := range a.Values {
+		if a.Values[k] != b.Values[k] || a.RowIdx[k] != b.RowIdx[k] {
+			t.Fatalf("nondeterministic workload at entry %d", k)
+		}
+	}
+}
+
+func TestSerialEquivalentDeterministic(t *testing.T) {
+	w := NewWorkload(tiny())
+	a := RunSerialEquivalent(tiny(), w, 4)
+	b := RunSerialEquivalent(tiny(), w, 4)
+	if a != b {
+		t.Fatalf("nondeterministic serial run: %+v vs %+v", a, b)
+	}
+}
+
+func TestGatherSetsAreIrregular(t *testing.T) {
+	// The gather sets must be data-dependent: at least one multiply
+	// task reads x blocks beyond its own — otherwise the workload
+	// exercises nothing irregular.
+	w := NewWorkload(tiny())
+	starts := partition(tiny().N, blocksFor(tiny(), 4))
+	sets := gatherSets(w.A, starts)
+	multi := 0
+	for _, s := range sets {
+		if len(s) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multiply task gathers from more than one block")
+	}
+}
+
+func TestPgasMatchesSerial(t *testing.T) {
+	w := NewWorkload(tiny())
+	for _, procs := range []int{1, 2, 4} {
+		for _, agg := range []bool{true, false} {
+			cfg := pgas.DefaultConfig(procs, pgas.Affinity)
+			cfg.Aggregation = agg
+			m := pgas.New(cfg)
+			rt := jade.New(m, jade.Config{})
+			got := Run(rt, tiny(), w)
+			rt.Finish()
+			want := RunSerialEquivalent(tiny(), w, procs)
+			if got != want {
+				t.Fatalf("procs=%d agg=%t: pgas %+v != serial %+v", procs, agg, got, want)
+			}
+		}
+	}
+}
+
+func TestDashMatchesSerial(t *testing.T) {
+	w := NewWorkload(tiny())
+	for _, procs := range []int{1, 4} {
+		m := dash.New(dash.DefaultConfig(procs, dash.Locality))
+		rt := jade.New(m, jade.Config{})
+		got := Run(rt, tiny(), w)
+		rt.Finish()
+		want := RunSerialEquivalent(tiny(), w, procs)
+		if got != want {
+			t.Fatalf("procs=%d: dash %+v != serial %+v", procs, got, want)
+		}
+	}
+}
+
+func TestIpscMatchesSerial(t *testing.T) {
+	w := NewWorkload(tiny())
+	for _, procs := range []int{1, 3, 4} {
+		m := ipsc.New(ipsc.DefaultConfig(procs, ipsc.Locality))
+		rt := jade.New(m, jade.Config{})
+		got := Run(rt, tiny(), w)
+		rt.Finish()
+		want := RunSerialEquivalent(tiny(), w, procs)
+		if got != want {
+			t.Fatalf("procs=%d: ipsc %+v != serial %+v", procs, got, want)
+		}
+	}
+}

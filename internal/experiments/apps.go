@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/apps/cholesky"
 	"repro/internal/apps/ocean"
+	"repro/internal/apps/spmv"
 	"repro/internal/apps/tomo"
 	"repro/internal/apps/water"
 	"repro/internal/jade"
@@ -109,4 +110,37 @@ var choleskyApp = &appSpec{
 	},
 }
 
+func spmvCfg(scale Scale) spmv.Config {
+	if scale == PaperScale {
+		return spmv.Paper()
+	}
+	return spmv.Small()
+}
+
+// The SpMV matrix generation is untimed setup shared across runs of a
+// scale, like the Cholesky symbolic factorization.
+func spmvWorkload(scale Scale) *spmv.Workload {
+	return sharedCache.get("spmv-workload/"+string(scale), func() any {
+		return spmv.NewWorkload(spmvCfg(scale))
+	}).(*spmv.Workload)
+}
+
+var spmvApp = &appSpec{
+	name: "SpMV",
+	key:  "spmv",
+	run: func(rt *jade.Runtime, scale Scale, place bool) {
+		spmv.Run(rt, spmvCfg(scale), spmvWorkload(scale))
+	},
+	serialWork: func(s Scale) float64 {
+		return spmv.SerialWorkSec(spmvCfg(s), spmvWorkload(s))
+	},
+	strippedWork: func(s Scale) float64 {
+		return spmv.StrippedWorkSec(spmvCfg(s), spmvWorkload(s))
+	},
+}
+
+// allApps are the paper's four applications, in paper order; they
+// drive the table/figure sweeps. SpMV is deliberately not in this
+// list — the paper's tables do not include it — but it is a full
+// RunSpec app (appKeys) and part of the three-machine comparison.
 var allApps = []*appSpec{waterApp, tomoApp, oceanApp, choleskyApp}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestPgasGraphReplayByteIdentical extends the core replay acceptance
+// test to the PGAS machine: every app at every level, and the
+// irregular SpMV workload on all three machines, served from the graph
+// cache must be byte-identical to a direct front-end build. The SpMV
+// pgas cells run with aggregation both on and off — the captured graph
+// carries access declarations only, so the coalescing layer must see
+// the same batches either way.
+func TestPgasGraphReplayByteIdentical(t *testing.T) {
+	sharedCache.reset()
+	off := false
+	var specs []RunSpec
+	for _, app := range []string{"water", "string", "ocean", "cholesky", "spmv"} {
+		for _, level := range levelsFor(app) {
+			specs = append(specs, RunSpec{App: app, Machine: "pgas", Procs: 8, Level: level, WorkFree: true, Observe: true})
+			specs = append(specs, RunSpec{App: app, Machine: "pgas", Procs: 8, Level: level, WorkFree: true, Observe: true, Aggregation: &off})
+		}
+	}
+	for _, machine := range []string{"dash", "ipsc"} {
+		for _, level := range levelsFor("spmv") {
+			specs = append(specs, RunSpec{App: "spmv", Machine: machine, Procs: 8, Level: level, WorkFree: true, Observe: true})
+		}
+	}
+	for _, spec := range specs {
+		var direct, replayed []byte
+		withGraphCache(false, func() { direct = scaleReportJSON(t, spec, Small) })
+		withGraphCache(true, func() { replayed = scaleReportJSON(t, spec, Small) })
+		if !bytes.Equal(direct, replayed) {
+			t.Errorf("%s/%s/%s: cached-graph run differs from direct run", spec.App, spec.Machine, spec.Level)
+		}
+	}
+}
+
+// A faulted PGAS run must replay the same clean graph, and a capture
+// taken during a faulted run must not be perturbed by the faults —
+// the same guarantee TestGraphReplayFaultedRuns pins for the other
+// machines.
+func TestPgasGraphReplayFaultedRuns(t *testing.T) {
+	specs := []RunSpec{
+		{App: "spmv", Machine: "pgas", Procs: 8, WorkFree: true, Observe: true,
+			Fault: &fault.Spec{Seed: 42, DegradedLinkPct: 0.25, Stragglers: 2, VictimClusters: 1}},
+		{App: "water", Machine: "pgas", Procs: 8, WorkFree: true, Observe: true,
+			Fault: &fault.Spec{Seed: 7, DegradedLinkPct: 0.4, Stragglers: 1}},
+	}
+	for _, spec := range specs {
+		var direct, replayed []byte
+		withGraphCache(false, func() { direct = scaleReportJSON(t, spec, Small) })
+		withGraphCache(true, func() { replayed = scaleReportJSON(t, spec, Small) })
+		if !bytes.Equal(direct, replayed) {
+			t.Errorf("%s/pgas faulted: cached-graph run differs from direct run", spec.App)
+		}
+
+		healthy := spec
+		healthy.Fault = nil
+		var healthyDirect, healthyReplayed []byte
+		withGraphCache(false, func() { healthyDirect = scaleReportJSON(t, healthy, Small) })
+		withGraphCache(true, func() {
+			sharedCache.reset()
+			scaleReportJSON(t, spec, Small) // faulted run populates the cache
+			healthyReplayed = scaleReportJSON(t, healthy, Small)
+		})
+		if !bytes.Equal(healthyDirect, healthyReplayed) {
+			t.Errorf("%s/pgas: capture taken during a faulted run was perturbed by the faults", spec.App)
+		}
+	}
+}
+
+// The machine name and the aggregation toggle must both reach the
+// canonical spec bytes — they are the jaded cache key, so a pgas run
+// must never collide with a dash run of the same app.
+func TestPgasSpecCanonicalBytesDistinct(t *testing.T) {
+	off := false
+	specs := []RunSpec{
+		{App: "spmv", Machine: "dash"},
+		{App: "spmv", Machine: "ipsc"},
+		{App: "spmv", Machine: "pgas"},
+		{App: "spmv", Machine: "pgas", Aggregation: &off},
+	}
+	seen := map[string]int{}
+	for i, s := range specs {
+		if err := s.Canonicalize(); err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j, dup := seen[string(b)]; dup {
+			t.Fatalf("specs %d and %d share canonical bytes %s", j, i, b)
+		}
+		seen[string(b)] = i
+	}
+}
+
+// TestPgasReportDeterministic pins the jade-pgas/v1 document: two
+// builds at any parallelism must be byte-identical, the grid must
+// cover every app on every machine, and the SpMV aggregation study
+// must show the coalescing layer winning on message count while
+// leaving every regular app untouched.
+func TestPgasReportDeterministic(t *testing.T) {
+	build := func() []byte {
+		rep, err := BuildPgasReport(Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := build()
+	b := build()
+	if !bytes.Equal(a, b) {
+		t.Fatal("jade-pgas/v1 document differs between builds")
+	}
+
+	var rep PgasReport
+	if err := json.Unmarshal(a, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != PgasSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, PgasSchema)
+	}
+	apps := len(allApps) + 1
+	if len(rep.Cells) != apps*len(pgasMachines) {
+		t.Fatalf("cells = %d, want %d", len(rep.Cells), apps*len(pgasMachines))
+	}
+	cover := map[string]bool{}
+	for _, c := range rep.Cells {
+		cover[c.App+"/"+c.Machine] = true
+		if c.ExecTimeSec <= 0 {
+			t.Fatalf("%s/%s: exec_time_sec = %v", c.App, c.Machine, c.ExecTimeSec)
+		}
+		if c.Machine != "pgas" && (c.RemoteGets != 0 || c.AggregatedMsgs != 0) {
+			t.Fatalf("%s/%s: PGAS counters leaked onto a non-PGAS machine: %+v", c.App, c.Machine, c)
+		}
+	}
+	for _, a := range pgasApps() {
+		for _, m := range pgasMachines {
+			if !cover[a.key+"/"+m] {
+				t.Fatalf("grid missing %s/%s", a.key, m)
+			}
+		}
+	}
+	agg := rep.SpMVAggregation
+	if agg.MsgCountOn >= agg.MsgCountOff {
+		t.Fatalf("aggregation did not reduce SpMV messages: on=%d off=%d", agg.MsgCountOn, agg.MsgCountOff)
+	}
+	if agg.AggregatedMsgs == 0 || agg.AggBenefitBytes <= 0 {
+		t.Fatalf("aggregation counters empty: %+v", agg)
+	}
+	if len(agg.NeutralApps) != len(allApps) {
+		t.Fatalf("neutral apps = %v, want all %d regular apps", agg.NeutralApps, len(allApps))
+	}
+	if len(rep.Transfers) == 0 {
+		t.Fatal("no transfer rows")
+	}
+	anyTransfers := false
+	for _, tr := range rep.Transfers {
+		if tr.Transfers {
+			anyTransfers = true
+		}
+	}
+	if !anyTransfers {
+		t.Fatal("no optimization transfers anywhere — comparison is vacuous")
+	}
+}

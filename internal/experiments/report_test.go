@@ -68,9 +68,9 @@ func TestBenchReportJSON(t *testing.T) {
 	if len(doc.Experiments[0].Rows) == 0 {
 		t.Fatal("experiment table has no rows")
 	}
-	// 4 apps × 2 machines.
-	if len(doc.Runs) != len(allApps)*2 {
-		t.Fatalf("runs = %d, want %d", len(doc.Runs), len(allApps)*2)
+	// 4 apps × 2 machines, plus SpMV on all three machines.
+	if len(doc.Runs) != len(allApps)*2+3 {
+		t.Fatalf("runs = %d, want %d", len(doc.Runs), len(allApps)*2+3)
 	}
 	for _, r := range doc.Runs {
 		ob := r.Metrics.Observability

@@ -11,6 +11,7 @@ import (
 	"repro/internal/jade"
 	"repro/internal/metrics"
 	"repro/internal/obsv"
+	"repro/internal/pgas"
 )
 
 // RunSpec is a serializable description of one Jade execution: an
@@ -52,6 +53,12 @@ type RunSpec struct {
 	// SpeedAware enables the cluster model's speed-weighted scheduler.
 	SpeedAware bool `json:"speed_aware,omitempty"`
 
+	// Aggregation toggles the PGAS machine's software-managed
+	// aggregation layer (coalescing a task's remote gets/puts to the
+	// same home locale into batched messages). Unset keeps the
+	// machine's default (on); pgas-only.
+	Aggregation *bool `json:"aggregation,omitempty"`
+
 	// Fault, when present, injects deterministic faults into the run
 	// (jade-fault/v1): message loss and link degradation on the iPSC
 	// model, victim-cluster latency and invalidation storms on DASH.
@@ -80,10 +87,11 @@ var appKeys = map[string]*appSpec{
 	"tomo":     tomoApp,
 	"ocean":    oceanApp,
 	"cholesky": choleskyApp,
+	"spmv":     spmvApp,
 }
 
 // appKeyNames returns the canonical app names, sorted for error text.
-func appKeyNames() string { return "water, string, ocean, cholesky" }
+func appKeyNames() string { return "water, string, ocean, cholesky, spmv" }
 
 // ParseScale validates a workload-scale string.
 func ParseScale(s string) (Scale, error) {
@@ -113,9 +121,9 @@ func (s *RunSpec) Canonicalize() error {
 		s.App = "string"
 	}
 	switch s.Machine {
-	case "dash", "ipsc", "cluster":
+	case "dash", "ipsc", "cluster", "pgas":
 	default:
-		return fmt.Errorf("run spec: unknown machine %q (valid: dash, ipsc, cluster)", s.Machine)
+		return fmt.Errorf("run spec: unknown machine %q (valid: dash, ipsc, cluster, pgas)", s.Machine)
 	}
 	if s.Procs == 0 {
 		s.Procs = instrumentedProcs
@@ -162,12 +170,15 @@ func (s *RunSpec) Canonicalize() error {
 	if s.Machine != "cluster" && s.SpeedAware {
 		return fmt.Errorf("run spec: speed_aware applies only to the cluster machine (got %q)", s.Machine)
 	}
+	if s.Machine != "pgas" && s.Aggregation != nil {
+		return fmt.Errorf("run spec: aggregation applies only to the pgas machine (got %q)", s.Machine)
+	}
 	if s.Fault != nil {
 		if err := s.Fault.Canonicalize(); err != nil {
 			return fmt.Errorf("run spec: %w", err)
 		}
 		if s.Machine == "cluster" && s.Fault.Active() {
-			return fmt.Errorf("run spec: fault injection applies only to the dash and ipsc machines (got %q)", s.Machine)
+			return fmt.Errorf("run spec: the cluster machine has no fault model (got %q)", s.Machine)
 		}
 		if !s.Fault.Active() && !s.Fault.Panic {
 			s.Fault = nil // an inert fault block is no fault block
@@ -196,6 +207,17 @@ func ipscLevel(level string) ipsc.LocalityLevel {
 		return ipsc.TaskPlacement
 	}
 	return ipsc.Locality
+}
+
+// pgasLevel maps a canonical level name to the PGAS constant.
+func pgasLevel(level string) pgas.LocalityLevel {
+	switch level {
+	case LevelNone:
+		return pgas.NoAffinity
+	case LevelPlacement:
+		return pgas.TaskPlacement
+	}
+	return pgas.Affinity
 }
 
 // Execute canonicalizes a copy of the spec and runs it at the given
@@ -255,6 +277,17 @@ func (s RunSpec) Execute(scale Scale) (*metrics.Run, error) {
 			m.Obs = obsv.New(s.Procs)
 		}
 		p = m
+	case "pgas":
+		cfg := pgas.DefaultConfig(s.Procs, pgasLevel(s.Level))
+		if s.Aggregation != nil {
+			cfg.Aggregation = *s.Aggregation
+		}
+		m := pgas.New(cfg)
+		m.Inj = inj
+		if s.Observe {
+			m.Obs = obsv.New(s.Procs)
+		}
+		p = m
 	}
 	return runApp(p, jade.Config{WorkFree: s.WorkFree}, a, scale, place), nil
 }
@@ -278,7 +311,8 @@ func (s RunSpec) Instrumented(scale Scale) (InstrumentedRun, error) {
 // DefaultRunSpecs describes the standard observability runs jadebench
 // folds into its report: every application on both primary machine
 // models at 8 processors, at the highest locality level the app
-// supports, with the observer attached.
+// supports, with the observer attached — plus the irregular SpMV
+// workload on all three machines (dash, ipsc, pgas).
 func DefaultRunSpecs() []RunSpec {
 	var specs []RunSpec
 	for _, a := range allApps {
@@ -292,6 +326,12 @@ func DefaultRunSpecs() []RunSpec {
 				Level: level, Observe: true,
 			})
 		}
+	}
+	for _, machine := range []string{"dash", "ipsc", "pgas"} {
+		specs = append(specs, RunSpec{
+			App: "spmv", Machine: machine, Procs: instrumentedProcs,
+			Level: LevelLocality, Observe: true,
+		})
 	}
 	return specs
 }

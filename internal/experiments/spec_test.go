@@ -119,8 +119,8 @@ func TestRunSpecObserve(t *testing.T) {
 
 func TestDefaultRunSpecsShape(t *testing.T) {
 	specs := DefaultRunSpecs()
-	if len(specs) != len(allApps)*2 {
-		t.Fatalf("len = %d, want %d", len(specs), len(allApps)*2)
+	if len(specs) != len(allApps)*2+3 {
+		t.Fatalf("len = %d, want %d", len(specs), len(allApps)*2+3)
 	}
 	for _, s := range specs {
 		if err := s.Canonicalize(); err != nil {

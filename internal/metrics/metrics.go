@@ -63,8 +63,20 @@ type Run struct {
 	MsgDuplicates      int64
 	FaultInvalidations int64
 
+	// PGAS one-sided-communication accounting (internal/pgas); all
+	// zero on the other machines. RemoteGets/RemotePuts count
+	// one-sided operations (each batched message carries several);
+	// AggregatedMsgs counts wire messages that coalesced more than one
+	// operation, and AggBenefitBytes the header bytes that coalescing
+	// saved.
+	RemoteGets      int64
+	RemotePuts      int64
+	AggregatedMsgs  int64
+	AggBenefitBytes int64
+
 	// RemoteBytes counts bytes satisfied from remote memory on the
-	// shared-memory model.
+	// shared-memory model (and, on the PGAS model, bytes moved by
+	// remote gets).
 	RemoteBytes int64
 	// LocalBytes counts bytes satisfied from local memory or cache.
 	LocalBytes int64

@@ -28,20 +28,26 @@ type Report struct {
 	ReplicatedReads int64   `json:"replicated_reads"`
 	// The fault counters are omitted when zero so healthy-run reports
 	// are byte-identical to those of builds without fault injection.
-	MsgDropped         int64          `json:"msg_dropped,omitempty"`
-	MsgRetransmits     int64          `json:"msg_retransmits,omitempty"`
-	MsgDuplicates      int64          `json:"msg_duplicates,omitempty"`
-	FaultInvalidations int64          `json:"fault_invalidations,omitempty"`
-	ObjectLatencySec   float64        `json:"object_latency_sec"`
-	TaskLatencySec     float64        `json:"task_latency_sec"`
-	TaskMgmtSec        float64        `json:"task_mgmt_sec"`
-	RemoteBytes        int64          `json:"remote_bytes"`
-	LocalBytes         int64          `json:"local_bytes"`
-	ProcBusySec        []float64      `json:"proc_busy_sec"`
-	Utilization        []float64      `json:"utilization"`
-	OverBusy           []int          `json:"over_busy,omitempty"`
-	CommCompMBPerSec   float64        `json:"comm_comp_mb_per_sec"`
-	Observability      *obsv.Snapshot `json:"observability,omitempty"`
+	MsgDropped         int64 `json:"msg_dropped,omitempty"`
+	MsgRetransmits     int64 `json:"msg_retransmits,omitempty"`
+	MsgDuplicates      int64 `json:"msg_duplicates,omitempty"`
+	FaultInvalidations int64 `json:"fault_invalidations,omitempty"`
+	// The PGAS counters are likewise omitted when zero, so dash/ipsc/
+	// cluster reports are byte-identical to pre-PGAS output.
+	RemoteGets       int64          `json:"remote_gets,omitempty"`
+	RemotePuts       int64          `json:"remote_puts,omitempty"`
+	AggregatedMsgs   int64          `json:"aggregated_msgs,omitempty"`
+	AggBenefitBytes  int64          `json:"agg_benefit_bytes,omitempty"`
+	ObjectLatencySec float64        `json:"object_latency_sec"`
+	TaskLatencySec   float64        `json:"task_latency_sec"`
+	TaskMgmtSec      float64        `json:"task_mgmt_sec"`
+	RemoteBytes      int64          `json:"remote_bytes"`
+	LocalBytes       int64          `json:"local_bytes"`
+	ProcBusySec      []float64      `json:"proc_busy_sec"`
+	Utilization      []float64      `json:"utilization"`
+	OverBusy         []int          `json:"over_busy,omitempty"`
+	CommCompMBPerSec float64        `json:"comm_comp_mb_per_sec"`
+	Observability    *obsv.Snapshot `json:"observability,omitempty"`
 }
 
 // Report converts the run into its stable machine-readable form.
@@ -62,6 +68,10 @@ func (r *Run) Report() *Report {
 		MsgRetransmits:     r.MsgRetransmits,
 		MsgDuplicates:      r.MsgDuplicates,
 		FaultInvalidations: r.FaultInvalidations,
+		RemoteGets:         r.RemoteGets,
+		RemotePuts:         r.RemotePuts,
+		AggregatedMsgs:     r.AggregatedMsgs,
+		AggBenefitBytes:    r.AggBenefitBytes,
 		ObjectLatencySec:   r.ObjectLatency,
 		TaskLatencySec:     r.TaskLatency,
 		TaskMgmtSec:        r.TaskMgmtTime,

@@ -1,0 +1,123 @@
+// Package pgas models a modern partitioned-global-address-space
+// machine — the middle ground between the paper's 1995 platforms. The
+// global address space is partitioned into per-locale segments: every
+// shared object has a home locale whose segment holds its
+// authoritative copy, and any locale can reach any object with a
+// one-sided remote get/put (RDMA-style: no software on the remote CPU,
+// only NIC occupancy). On top of the hardware sits a Jade
+// implementation with a software write-back cache per locale and an
+// optional software-managed aggregation layer that coalesces a task's
+// outstanding remote gets to the same home locale into one batched
+// message — the optimization Rolinger et al. show matters for
+// irregular, data-dependent access patterns that static placement
+// cannot analyze.
+package pgas
+
+// LocalityLevel selects how the scheduler uses affinity information,
+// mirroring the paper's three locality optimization levels.
+type LocalityLevel int
+
+const (
+	// NoAffinity keeps a single task queue and hands enabled tasks to
+	// idle locales first-come first-served.
+	NoAffinity LocalityLevel = iota
+	// Affinity runs each task at the home locale of its locality
+	// object (work follows data — the PGAS owner-computes rule).
+	Affinity
+	// TaskPlacement honors explicit jade.PlaceOn placement.
+	TaskPlacement
+)
+
+// String implements fmt.Stringer.
+func (l LocalityLevel) String() string {
+	switch l {
+	case NoAffinity:
+		return "No Affinity"
+	case Affinity:
+		return "Affinity"
+	case TaskPlacement:
+		return "Task Placement"
+	}
+	return "unknown"
+}
+
+// Config parameterizes the PGAS machine. The defaults describe a
+// contemporary RDMA fabric: microsecond-scale one-sided latency,
+// ~0.8 GB/s effective per-NIC bandwidth, and a per-message software
+// injection cost that makes many small messages measurably worse than
+// one large one — the gap aggregation exists to close.
+type Config struct {
+	// Procs is the locale count.
+	Procs int
+	// Level is the affinity optimization level.
+	Level LocalityLevel
+
+	// RemoteLatencySec is the one-way wire latency of a one-sided
+	// operation (a get pays it twice: request out, data back).
+	RemoteLatencySec float64
+	// BandwidthBytesPerSec is the per-NIC injection bandwidth.
+	BandwidthBytesPerSec float64
+	// HeaderSec is the per-message software injection overhead on the
+	// issuing NIC (descriptor build, doorbell).
+	HeaderSec float64
+	// HeaderBytes is the per-message wire header; aggregation's byte
+	// saving is (batchedOps-1) headers per coalesced message.
+	HeaderBytes int
+
+	// TaskMsgBytes sizes a task-assignment message; CompletionBytes a
+	// completion notice.
+	TaskMsgBytes    int
+	CompletionBytes int
+
+	// SpeedFactor scales task work relative to the reference (DASH)
+	// processor; a modern core runs the applications faster.
+	SpeedFactor float64
+
+	// Main-locale task management costs: creating a task,
+	// deciding+initiating an assignment, and handling a completion
+	// notice. DispatchSec is the per-task dispatch cost on the
+	// executing locale.
+	TaskCreateSec     float64
+	AssignSec         float64
+	CompleteHandleSec float64
+	DispatchSec       float64
+
+	// TargetTasks is the scheduler's target number of concurrently
+	// assigned tasks per locale.
+	TargetTasks int
+
+	// Aggregation enables the software-managed aggregation layer: a
+	// task's outstanding remote gets (and its write-backs) to the same
+	// home locale coalesce into one batched message paying one header.
+	// Off, every remote object moves in its own message. Toggleable
+	// like the paper's own optimizations.
+	Aggregation bool
+}
+
+// DefaultConfig builds a PGAS machine of n locales at the given
+// affinity level with aggregation on (the modern default).
+func DefaultConfig(n int, level LocalityLevel) Config {
+	return Config{
+		Procs:                n,
+		Level:                level,
+		RemoteLatencySec:     5e-6,
+		BandwidthBytesPerSec: 8e8,
+		HeaderSec:            1.5e-6,
+		HeaderBytes:          64,
+		TaskMsgBytes:         128,
+		CompletionBytes:      32,
+		SpeedFactor:          0.5,
+		TaskCreateSec:        12e-6,
+		AssignSec:            10e-6,
+		CompleteHandleSec:    10e-6,
+		DispatchSec:          4e-6,
+		TargetTasks:          1,
+		Aggregation:          true,
+	}
+}
+
+// occupancy is the issuing NIC's time to inject one message carrying
+// n payload bytes.
+func (c *Config) occupancy(n int) float64 {
+	return c.HeaderSec + float64(n+c.HeaderBytes)/c.BandwidthBytesPerSec
+}

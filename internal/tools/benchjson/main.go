@@ -87,10 +87,21 @@ func main() {
 	}
 
 	if *baseline != "" {
-		regressions, missing, err := compare(*baseline, rep, *tolerance)
+		regressions, missing, added, err := compare(*baseline, rep, *tolerance)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)
+		}
+		if len(added) > 0 {
+			// The mirror image of missing: a benchmark with no baseline
+			// entry runs ungated, so a new benchmark is invisible to the
+			// regression gate until the baseline is regenerated. Warn so
+			// the regeneration actually happens.
+			fmt.Fprintf(os.Stderr, "benchjson: warning: %d benchmark(s) not in the baseline (ungated until it is regenerated):\n",
+				len(added))
+			for _, a := range added {
+				fmt.Fprintf(os.Stderr, "  %s\n", a)
+			}
 		}
 		if len(missing) > 0 {
 			// A baseline benchmark this run never produced would pass
@@ -176,20 +187,22 @@ func parse(r interface{ Read([]byte) (int, error) }) (*Report, error) {
 
 // compare returns a description of every benchmark in the baseline
 // whose current ns/op exceeds baseline*(1+tolerance), plus the keys of
-// baseline benchmarks the current run never produced. New benchmarks
-// (current only) are not regressions; missing ones are reported so a
-// renamed or deleted benchmark can't silently drop out of the gate.
-func compare(baselinePath string, cur *Report, tolerance float64) (regressions, missing []string, err error) {
+// baseline benchmarks the current run never produced and of current
+// benchmarks the baseline has never seen. New benchmarks (current
+// only) are not regressions but are reported as added, and missing
+// ones as missing, so neither a renamed, deleted, nor brand-new
+// benchmark can silently sit outside the gate.
+func compare(baselinePath string, cur *Report, tolerance float64) (regressions, missing, added []string, err error) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var base Report
 	if err := json.Unmarshal(data, &base); err != nil {
-		return nil, nil, fmt.Errorf("%s: %v", baselinePath, err)
+		return nil, nil, nil, fmt.Errorf("%s: %v", baselinePath, err)
 	}
 	if base.Schema != Schema {
-		return nil, nil, fmt.Errorf("%s: schema %q, want %q", baselinePath, base.Schema, Schema)
+		return nil, nil, nil, fmt.Errorf("%s: schema %q, want %q", baselinePath, base.Schema, Schema)
 	}
 	baseNs := make(map[string]float64, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
@@ -206,6 +219,12 @@ func compare(baselinePath string, cur *Report, tolerance float64) (regressions, 
 	}
 	sort.Strings(missing)
 	for _, b := range cur.Benchmarks {
+		if _, ok := baseNs[key(b)]; !ok {
+			added = append(added, key(b))
+		}
+	}
+	sort.Strings(added)
+	for _, b := range cur.Benchmarks {
 		old, ok := baseNs[key(b)]
 		if !ok || old <= 0 {
 			continue
@@ -216,7 +235,7 @@ func compare(baselinePath string, cur *Report, tolerance float64) (regressions, 
 				key(b), b.NsPerOp, old, 100*(b.NsPerOp/old-1)))
 		}
 	}
-	return regressions, missing, nil
+	return regressions, missing, added, nil
 }
 
 // key identifies a benchmark across documents.

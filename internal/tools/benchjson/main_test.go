@@ -70,7 +70,7 @@ func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
 		{Name: "Table2", Package: "repro", NsPerOp: 1500},                    // +50%: regression
 		{Name: "Added", Package: "repro", NsPerOp: 999999},                   // no baseline: skipped
 	}}
-	regressions, missing, err := compare(baseline, cur, 0.20)
+	regressions, missing, added, err := compare(baseline, cur, 0.20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,12 +80,50 @@ func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
 	if len(missing) != 1 || missing[0] != "repro.Removed" {
 		t.Fatalf("missing = %v, want only repro.Removed", missing)
 	}
-	regressions, _, err = compare(baseline, cur, 0.60)
+	if len(added) != 1 || added[0] != "repro.Added" {
+		t.Fatalf("added = %v, want only repro.Added", added)
+	}
+	regressions, _, _, err = compare(baseline, cur, 0.60)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(regressions) != 0 {
 		t.Fatalf("at 60%% tolerance regressions = %v, want none", regressions)
+	}
+}
+
+func TestCompareReportsAddedBenchmarks(t *testing.T) {
+	baseline := writeBaseline(t, `{
+	  "schema": "jade-bench/v1",
+	  "benchmarks": [
+	    {"name": "Kept", "package": "repro", "iterations": 1, "ns_per_op": 100}
+	  ]
+	}`)
+	cur := &Report{Schema: Schema, Benchmarks: []Benchmark{
+		{Name: "Kept", Package: "repro", NsPerOp: 100},
+		{Name: "NewB", Package: "repro", NsPerOp: 100},
+		{Name: "NewA", Package: "repro/internal/pgas", NsPerOp: 100},
+	}}
+	regressions, missing, added, err := compare(baseline, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 || len(missing) != 0 {
+		t.Fatalf("regressions = %v, missing = %v, want none", regressions, missing)
+	}
+	want := []string{"repro.NewB", "repro/internal/pgas.NewA"}
+	if len(added) != 2 || added[0] != want[0] || added[1] != want[1] {
+		t.Fatalf("added = %v, want %v (sorted)", added, want)
+	}
+
+	// A baseline covering every current benchmark reports nothing added.
+	cur.Benchmarks = cur.Benchmarks[:1]
+	_, _, added, err = compare(baseline, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 0 {
+		t.Fatalf("added = %v, want none", added)
 	}
 }
 
@@ -101,7 +139,7 @@ func TestCompareReportsMissingBaselines(t *testing.T) {
 	cur := &Report{Schema: Schema, Benchmarks: []Benchmark{
 		{Name: "Kept", Package: "repro", NsPerOp: 100},
 	}}
-	regressions, missing, err := compare(baseline, cur, 0.20)
+	regressions, missing, _, err := compare(baseline, cur, 0.20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +155,7 @@ func TestCompareReportsMissingBaselines(t *testing.T) {
 	cur.Benchmarks = append(cur.Benchmarks,
 		Benchmark{Name: "GoneB", Package: "repro", NsPerOp: 100},
 		Benchmark{Name: "GoneA", Package: "repro/internal/sim", NsPerOp: 100})
-	_, missing, err = compare(baseline, cur, 0.20)
+	_, missing, _, err = compare(baseline, cur, 0.20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,10 +165,10 @@ func TestCompareReportsMissingBaselines(t *testing.T) {
 }
 
 func TestCompareRejectsBadBaseline(t *testing.T) {
-	if _, _, err := compare(writeBaseline(t, `{"schema":"other/v9"}`), &Report{Schema: Schema}, 0.2); err == nil {
+	if _, _, _, err := compare(writeBaseline(t, `{"schema":"other/v9"}`), &Report{Schema: Schema}, 0.2); err == nil {
 		t.Fatal("wrong-schema baseline accepted")
 	}
-	if _, _, err := compare(filepath.Join(t.TempDir(), "missing.json"), &Report{Schema: Schema}, 0.2); err == nil {
+	if _, _, _, err := compare(filepath.Join(t.TempDir(), "missing.json"), &Report{Schema: Schema}, 0.2); err == nil {
 		t.Fatal("missing baseline accepted")
 	}
 }
