@@ -121,7 +121,13 @@ func sweepSpecs(b *testing.B) []experiments.RunSpec {
 func benchSweep(b *testing.B, cache bool) {
 	specs := sweepSpecs(b)
 	experiments.SetGraphCache(cache)
-	defer experiments.SetGraphCache(true)
+	// Pin the classic per-run replay so Replay/Direct keep measuring
+	// the pre-batching paths; Batched below measures the plan path.
+	experiments.SetBatchReplay(false)
+	defer func() {
+		experiments.SetGraphCache(true)
+		experiments.SetBatchReplay(true)
+	}()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, s := range specs {
@@ -138,6 +144,26 @@ func benchSweep(b *testing.B, cache bool) {
 // the gap is the front-end cost the cache removes.
 func BenchmarkSweepGraphReplay(b *testing.B) { benchSweep(b, true) }
 func BenchmarkSweepGraphDirect(b *testing.B) { benchSweep(b, false) }
+
+// Batched replay: the same work-free sweep through ExecuteRuns, which
+// groups the cells sharing a captured graph into VariantSets — one
+// op-stream pass over the shared replay plan drives every machine
+// variant in lockstep. Run serially (workers=1) so the gap vs
+// SweepGraphReplay is algorithmic, not parallelism.
+func BenchmarkSweepGraphBatched(b *testing.B) {
+	specs := sweepSpecs(b)
+	runner := experiments.NewRunner(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runs, err := runner.ExecuteRuns(specs, experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(runs) != len(specs) {
+			b.Fatalf("got %d runs for %d specs", len(runs), len(specs))
+		}
+	}
+}
 
 // The irregular SpMV workload on the PGAS machine, end to end, with
 // the remote-get coalescing layer off (every gather element is its own

@@ -36,6 +36,12 @@ if [ "${1:-}" = "bench" ]; then
         # it gets a longer benchtime than the per-table gates.
         go test -run '^$' -bench '^BenchmarkSweepGraph(Replay|Direct)$' \
             -benchmem -benchtime 1s .
+        # The batched sweep backs the headline batching claim (one
+        # op-stream pass for all variants, ≥3x vs sequential replay and
+        # ≥2x fewer allocs); it is fast, so a longer benchtime buys
+        # stability without slowing the gate.
+        go test -run '^$' -bench '^BenchmarkSweepGraphBatched$' \
+            -benchmem -benchtime 2s .
         # The serving pair backs the observability-overhead claim:
         # spans + logging + SLO tracking on (observed) must track the
         # bare serving path.
@@ -70,6 +76,10 @@ echo "== go test -race (concurrent packages) =="
 # graph cache shared by concurrent runs, and the fault injector. The
 # pgas machine and the spmv app ride along: both run inside the
 # parallel fan-out, so their determinism must hold under -race too.
+# The batched-replay byte-identity tests (graph.TestVariantSet* and
+# experiments.TestExecuteRunsByteIdentical*) live in jade/graph and
+# experiments, so the VariantSet lockstep pass is exercised under
+# -race here as well.
 go test -race ./internal/native ./internal/jade ./internal/jade/graph ./internal/serve ./internal/experiments ./internal/fault ./internal/pgas ./internal/apps/spmv
 
 echo "== jadebench -json smoke =="
@@ -88,13 +98,17 @@ go run ./cmd/jadebench -pgas-report -scale small |
         transfers.0.optimization
 
 echo "== jadebench graph-cache smoke =="
-# Replaying cached task graphs must be invisible in the output: the
-# same experiment with the cache on (default) and off must produce
-# byte-identical reports.
+# Replaying cached task graphs — batched or sequential — must be
+# invisible in the output: the same experiment with the defaults
+# (cache + batched replay), with batching off, and with the cache off
+# entirely must produce byte-identical reports.
 gtmp=$(mktemp -d)
-go run ./cmd/jadebench -experiment fig10 -scale small >"$gtmp/cached.txt"
+go run ./cmd/jadebench -experiment fig10 -scale small >"$gtmp/batched.txt"
+go run ./cmd/jadebench -experiment fig10 -scale small -batch-replay=false >"$gtmp/sequential.txt"
 go run ./cmd/jadebench -experiment fig10 -scale small -graph-cache=false >"$gtmp/direct.txt"
-cmp "$gtmp/cached.txt" "$gtmp/direct.txt" ||
+cmp "$gtmp/batched.txt" "$gtmp/sequential.txt" ||
+    { echo "jadebench: batched replay changed the output" >&2; rm -rf "$gtmp"; exit 1; }
+cmp "$gtmp/batched.txt" "$gtmp/direct.txt" ||
     { echo "jadebench: graph replay changed the output" >&2; rm -rf "$gtmp"; exit 1; }
 rm -rf "$gtmp"
 

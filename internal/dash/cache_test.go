@@ -77,82 +77,75 @@ func TestCacheVersionUpdateInPlace(t *testing.T) {
 }
 
 func TestProcQueueFIFOWithinObject(t *testing.T) {
-	q := newProcQueue()
+	q := &procQueue{}
 	o := obj(1, 8)
-	t1 := &jade.Task{ID: 1}
-	t2 := &jade.Task{ID: 2}
-	q.push(t1, o)
-	q.push(t2, o)
-	if got := q.popFirst(); got != t1 {
-		t.Fatalf("popFirst = %v, want t1", got.ID)
+	q.push(1, o)
+	q.push(2, o)
+	if got := q.popFirst(); got != 1 {
+		t.Fatalf("popFirst = %v, want task 1", got)
 	}
-	if got := q.popFirst(); got != t2 {
-		t.Fatalf("popFirst = %v, want t2", got.ID)
+	if got := q.popFirst(); got != 2 {
+		t.Fatalf("popFirst = %v, want task 2", got)
 	}
-	if q.popFirst() != nil {
+	if q.popFirst() != noTask {
 		t.Fatal("empty queue returned a task")
 	}
 }
 
 func TestProcQueueObjectQueueOrder(t *testing.T) {
-	q := newProcQueue()
+	q := &procQueue{}
 	oa, ob := obj(1, 8), obj(2, 8)
-	ta := &jade.Task{ID: 1}
-	tb := &jade.Task{ID: 2}
-	ta2 := &jade.Task{ID: 3}
-	q.push(ta, oa)
-	q.push(tb, ob)
-	q.push(ta2, oa)
-	// Dispatch: first task of FIRST object task queue → ta, then ta2
-	// (same OTQ), then tb.
-	if q.popFirst() != ta {
-		t.Fatal("expected ta first")
+	q.push(1, oa)
+	q.push(2, ob)
+	q.push(3, oa)
+	// Dispatch: first task of FIRST object task queue → task 1, then
+	// task 3 (same OTQ), then task 2.
+	if q.popFirst() != 1 {
+		t.Fatal("expected task 1 first")
 	}
-	if q.popFirst() != ta2 {
-		t.Fatal("expected ta2 second (same OTQ)")
+	if q.popFirst() != 3 {
+		t.Fatal("expected task 3 second (same OTQ)")
 	}
-	if q.popFirst() != tb {
-		t.Fatal("expected tb last")
+	if q.popFirst() != 2 {
+		t.Fatal("expected task 2 last")
 	}
 }
 
 func TestProcQueueStealLastOfLast(t *testing.T) {
-	q := newProcQueue()
+	q := &procQueue{}
 	oa, ob := obj(1, 8), obj(2, 8)
-	t1, t2, t3 := &jade.Task{ID: 1}, &jade.Task{ID: 2}, &jade.Task{ID: 3}
-	q.push(t1, oa)
-	q.push(t2, ob)
-	q.push(t3, ob)
-	// Steal: last task of LAST object task queue → t3.
-	if got := q.stealLast(); got != t3 {
-		t.Fatalf("stealLast = %v, want t3", got.ID)
+	q.push(1, oa)
+	q.push(2, ob)
+	q.push(3, ob)
+	// Steal: last task of LAST object task queue → task 3.
+	if got := q.stealLast(); got != 3 {
+		t.Fatalf("stealLast = %v, want task 3", got)
 	}
-	if got := q.stealLast(); got != t2 {
-		t.Fatalf("stealLast = %v, want t2", got.ID)
+	if got := q.stealLast(); got != 2 {
+		t.Fatalf("stealLast = %v, want task 2", got)
 	}
-	if got := q.stealLast(); got != t1 {
-		t.Fatalf("stealLast = %v, want t1", got.ID)
+	if got := q.stealLast(); got != 1 {
+		t.Fatalf("stealLast = %v, want task 1", got)
 	}
 }
 
 func TestProcQueuePlacedNotStealable(t *testing.T) {
-	q := newProcQueue()
-	tp := &jade.Task{ID: 1, Placed: 2}
-	q.pushPlaced(tp)
-	if q.stealLast() != nil || q.stealFirst() != nil {
+	q := &procQueue{}
+	q.pushPlaced(1)
+	if q.stealLast() != noTask || q.stealFirst() != noTask {
 		t.Fatal("placed task was stolen")
 	}
-	if q.popFirst() != tp {
+	if q.popFirst() != 1 {
 		t.Fatal("placed task not dispatched")
 	}
 }
 
 func TestProcQueueEmpty(t *testing.T) {
-	q := newProcQueue()
+	q := &procQueue{}
 	if !q.empty() {
 		t.Fatal("new queue not empty")
 	}
-	q.push(&jade.Task{ID: 1}, obj(1, 8))
+	q.push(1, obj(1, 8))
 	if q.empty() {
 		t.Fatal("non-empty queue reported empty")
 	}

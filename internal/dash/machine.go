@@ -28,24 +28,39 @@ type Machine struct {
 	eng *sim.Engine
 	rt  *jade.Runtime
 
-	procs  []*sim.Processor
+	procs  []sim.Processor
 	queues []*procQueue
-	global []*jade.Task // NoLocality shared queue
-	caches []*cache
+	// global is the NoLocality shared queue of task IDs; globalHead
+	// indexes its first live entry so pops reuse the backing array's
+	// capacity.
+	global     []int32
+	globalHead int
+	caches     []*cache
 
 	running    []bool
 	idle       []bool
 	dispatchAt []sim.Time // earliest pending dispatch event, or -1
-	// dispatchFns are the per-processor dispatch event handlers,
-	// allocated once so poke (the hottest scheduling path) enqueues an
-	// interned closure instead of building one per event.
-	dispatchFns []func()
-	// execDoneFns are the per-processor task-completion handlers, and
-	// curTask the task each one reports on: a processor runs one task at
-	// a time, so interning the closure is safe and saves one allocation
-	// per executed task.
+	// dispatchH is the registered dispatch event handler and
+	// execDoneCallH the task-completion handler; both take the
+	// processor index as their int32 argument, so events on the hot
+	// paths stay pointer-free. curTask is the task each processor's
+	// completion reports on: a processor runs one task at a time, so
+	// the handler needs no per-task state.
+	dispatchH     sim.Handler
+	execDoneCallH sim.Handler
+	curTask       []*jade.Task
+	// enqueueH is the registered handler for deferred task enqueues
+	// (creation completing, dependence satisfied); its argument is the
+	// task ID, resolved through the dense task table.
+	enqueueH sim.Handler
+	// execDoneFns are the span-recording completion variants, needed
+	// only under observability or tracing; built on first use.
 	execDoneFns []func(start, end sim.Time)
-	curTask     []*jade.Task
+
+	// tasks is the dense task table, indexed by task ID (creation
+	// order): the scheduling queues store pointer-free task IDs and
+	// resolve them here on dispatch.
+	tasks []*jade.Task
 
 	// createdDone is indexed by task ID and lastWriter by object ID
 	// (both dense, in creation/allocation order). A zero-valued
@@ -95,40 +110,79 @@ func New(cfg Config) *Machine {
 		idle:       make([]bool, cfg.Procs),
 		dispatchAt: make([]sim.Time, cfg.Procs),
 	}
-	m.dispatchFns = make([]func(), cfg.Procs)
-	m.execDoneFns = make([]func(start, end sim.Time), cfg.Procs)
 	m.curTask = make([]*jade.Task, cfg.Procs)
+	m.enqueueH = m.eng.RegisterHandler(func(tid int32) { m.enqueue(m.tasks[tid]) })
+	m.dispatchH = m.eng.RegisterHandler(func(v int32) {
+		p := int(v)
+		// Fires at the scheduled time, so Now() is the `at` the
+		// event was enqueued with.
+		if m.dispatchAt[p] == m.eng.Now() {
+			m.dispatchAt[p] = -1
+		}
+		m.dispatch(p)
+	})
+	m.execDoneCallH = m.eng.RegisterHandler(func(v int32) {
+		p := int(v)
+		t := m.curTask[p]
+		m.curTask[p] = nil
+		m.running[p] = false
+		m.rt.TaskDone(t)
+		m.dispatch(p)
+	})
+	qslab := make([]procQueue, cfg.Procs)
+	m.procs = make([]sim.Processor, cfg.Procs)
 	for i := 0; i < cfg.Procs; i++ {
-		m.procs = append(m.procs, sim.NewProcessor(m.eng))
-		m.queues[i] = newProcQueue()
-		m.caches[i] = newCache(cfg.CacheBytes)
+		m.procs[i] = sim.MakeProcessor(m.eng)
+		m.queues[i] = &qslab[i]
 		m.idle[i] = true
 		m.dispatchAt[i] = -1
-		p := i
-		m.dispatchFns[i] = func() {
-			// Fires at the scheduled time, so Now() is the `at` the
-			// event was enqueued with.
-			if m.dispatchAt[p] == m.eng.Now() {
-				m.dispatchAt[p] = -1
-			}
-			m.dispatch(p)
-		}
-		m.execDoneFns[i] = func(start, end sim.Time) {
-			t := m.curTask[p]
-			m.curTask[p] = nil
-			m.running[p] = false
-			m.traceEvent(float64(end), trace.ExecEnd, int(t.ID), p, "")
-			m.Obs.Span(p, obsv.StateTask, float64(start), float64(end))
-			m.rt.TaskDone(t)
-			m.dispatch(p)
-		}
 	}
 	m.stats.Procs = cfg.Procs
 	return m
 }
 
+// spanExecDoneFns builds the per-processor span-recording completion
+// handlers on first use; only traced or observed runs need them.
+func (m *Machine) spanExecDoneFns() []func(start, end sim.Time) {
+	if m.execDoneFns == nil {
+		m.execDoneFns = make([]func(start, end sim.Time), m.cfg.Procs)
+		for i := range m.execDoneFns {
+			p := i
+			m.execDoneFns[i] = func(start, end sim.Time) {
+				t := m.curTask[p]
+				m.curTask[p] = nil
+				m.running[p] = false
+				m.traceEvent(float64(end), trace.ExecEnd, int(t.ID), p, "")
+				m.Obs.Span(p, obsv.StateTask, float64(start), float64(end))
+				m.rt.TaskDone(t)
+				m.dispatch(p)
+			}
+		}
+	}
+	return m.execDoneFns
+}
+
 // Attach implements jade.Platform.
 func (m *Machine) Attach(rt *jade.Runtime) { m.rt = rt }
+
+// Attached reports whether a runtime has ever been bound to the
+// machine; graph replay uses it to refuse reused platforms.
+func (m *Machine) Attached() bool { return m.rt != nil }
+
+// ReserveCapacity implements the replay capacity hint: size the dense
+// per-object and per-task structures for the counts the plan already
+// knows, so the run appends without ever growing them.
+func (m *Machine) ReserveCapacity(objects, tasks int) {
+	m.tasks = make([]*jade.Task, 0, tasks)
+	m.createdDone = make([]sim.Time, 0, tasks)
+	m.lastWriter = make([]writerInfo, 0, objects)
+	// One backing array for every queue's by-object index: each queue
+	// extends within its own fixed-capacity window.
+	flat := make([]int32, 0, objects*len(m.queues))
+	for i, q := range m.queues {
+		q.byObj = flat[i*objects : i*objects : (i+1)*objects]
+	}
+}
 
 // Processors implements jade.Platform.
 func (m *Machine) Processors() int { return m.cfg.Procs }
@@ -161,10 +215,11 @@ func (m *Machine) submitMgmt(at sim.Time, d float64) sim.Time {
 func (m *Machine) TaskCreated(t *jade.Task, enabled bool) {
 	done := m.submitMgmt(m.eng.Now(), m.cfg.TaskCreateSec)
 	m.stats.TaskMgmtTime += m.cfg.TaskCreateSec
+	m.tasks = append(m.tasks, t)
 	m.createdDone = append(m.createdDone, done)
 	m.traceEvent(float64(done), trace.TaskCreated, int(t.ID), 0, "")
 	if enabled {
-		m.eng.At(done, func() { m.enqueue(t) })
+		m.eng.AtCall(done, m.enqueueH, int32(t.ID))
 	}
 }
 
@@ -176,7 +231,7 @@ func (m *Machine) TaskEnabled(t *jade.Task) {
 	if cd := m.createdDone[t.ID]; cd > at {
 		at = cd
 	}
-	m.eng.At(at, func() { m.enqueue(t) })
+	m.eng.AtCall(at, m.enqueueH, int32(t.ID))
 }
 
 // SerialWork implements jade.Platform.
@@ -256,15 +311,15 @@ func (m *Machine) enqueue(t *jade.Task) {
 	}
 	switch {
 	case m.cfg.Level == NoLocality:
-		m.global = append(m.global, t)
+		m.global = append(m.global, int32(t.ID))
 		m.pokeAllIdle(0)
 	case m.cfg.Level == TaskPlacement && t.Placed >= 0:
-		m.queues[t.Placed].pushPlaced(t)
+		m.queues[t.Placed].pushPlaced(int32(t.ID))
 		m.poke(t.Placed, 0)
 	default:
 		lobj := t.LocalityObject(m.rt.Config().Locality)
 		tgt := m.target(t)
-		m.queues[tgt].push(t, lobj)
+		m.queues[tgt].push(int32(t.ID), lobj)
 		m.poke(tgt, 0)
 		m.pokeAllIdle(sim.Time(m.cfg.StealDelaySec))
 	}
@@ -286,7 +341,7 @@ func (m *Machine) poke(p int, delay sim.Time) {
 		return
 	}
 	m.dispatchAt[p] = at
-	m.eng.At(at, m.dispatchFns[p])
+	m.eng.AtCall(at, m.dispatchH, int32(p))
 }
 
 func (m *Machine) pokeAllIdle(delay sim.Time) {
@@ -305,36 +360,40 @@ func (m *Machine) dispatch(p int) {
 	if m.running[p] {
 		return
 	}
-	var t *jade.Task
+	tid := noTask
 	stole := false
 	if m.cfg.Level == NoLocality {
-		if len(m.global) > 0 {
-			t = m.global[0]
-			m.global = m.global[1:]
+		if m.globalHead < len(m.global) {
+			tid = m.global[m.globalHead]
+			m.globalHead++
+			if m.globalHead == len(m.global) {
+				m.global = m.global[:0]
+				m.globalHead = 0
+			}
 		}
 	} else {
-		t = m.queues[p].popFirst()
-		if t == nil {
+		tid = m.queues[p].popFirst()
+		if tid == noTask {
 			for i := 1; i < m.cfg.Procs; i++ {
 				victim := m.queues[(p+i)%m.cfg.Procs]
 				if m.StealFromHead {
-					t = victim.stealFirst()
+					tid = victim.stealFirst()
 				} else {
-					t = victim.stealLast()
+					tid = victim.stealLast()
 				}
-				if t != nil {
+				if tid != noTask {
 					stole = true
 					break
 				}
 			}
 		}
 	}
-	if t == nil {
+	if tid == noTask {
 		m.idle[p] = true
 		return
 	}
 	m.idle[p] = false
-	m.execute(p, t, stole)
+	m.execute(p, m.tasks[tid], stole)
 }
 
 // execute runs task t on processor p: dispatch overhead plus memory
@@ -379,9 +438,15 @@ func (m *Machine) execute(p int, t *jade.Task, stole bool) {
 	m.rt.RunBody(t)
 	// One task runs per processor at a time (the running flag guards
 	// dispatch), so the completion handler is interned per processor and
-	// reads the task from curTask instead of capturing it.
+	// reads the task from curTask instead of capturing it. When neither
+	// tracing nor observability wants the span's start time, the
+	// closure-free SubmitCall path avoids even the Submit wrapper.
 	m.curTask[p] = t
-	m.procs[p].Submit(m.eng.Now(), sim.Time(mgmt+app), m.execDoneFns[p])
+	if m.Obs.Enabled() || m.Trace.Enabled() {
+		m.procs[p].Submit(m.eng.Now(), sim.Time(mgmt+app), m.spanExecDoneFns()[p])
+	} else {
+		m.procs[p].SubmitCall(m.eng.Now(), sim.Time(mgmt+app), m.execDoneCallH, int32(p))
+	}
 }
 
 // traceEvent records an event when tracing is enabled.
@@ -441,6 +506,12 @@ func (m *Machine) jitter(id jade.TaskID) float64 {
 func (m *Machine) accessCost(p int, a jade.Access) float64 {
 	o := a.Obj
 	c := m.caches[p]
+	if c == nil {
+		// Caches are built on first access so work-free runs — which
+		// never cost accesses — don't pay a list+map pair per processor.
+		c = newCache(m.cfg.CacheBytes)
+		m.caches[p] = c
+	}
 	resulting := a.RequiredVersion
 	if a.Writes() {
 		resulting++

@@ -2,13 +2,19 @@ package dash
 
 import "repro/internal/jade"
 
+// noTask is the "queue is empty" sentinel returned by the pop/steal
+// paths. Queues hold task IDs, not task pointers: the machine resolves
+// IDs through its dense task table, so the queue slices stay
+// pointer-free — appends skip the write barrier and the garbage
+// collector never scans them.
+const noTask int32 = -1
+
 // objQueue is an object task queue (§3.2.1): the FIFO of enabled tasks
 // whose locality object is obj. head indexes the first live task, so
 // popping reuses the slice capacity instead of leaking it one element
 // per front-reslice.
 type objQueue struct {
-	obj   *jade.Object
-	tasks []*jade.Task
+	tasks []int32
 	head  int
 }
 
@@ -17,114 +23,122 @@ func (o *objQueue) size() int { return len(o.tasks) - o.head }
 
 // procQueue is one processor's task queue: a FIFO of non-empty object
 // task queues, plus a FIFO of explicitly placed tasks (which are never
-// stolen).
+// stolen). Both FIFOs pop by advancing a head index and reset when
+// they drain, so the backing arrays reach a steady-state capacity and
+// stop allocating — a front-reslice would leak the popped prefix and
+// force every later append to grow the slice again.
 type procQueue struct {
-	placed     []*jade.Task
+	placed     []int32
 	placedHead int
-	otqs       []*objQueue
-	// byObj is indexed by object ID (dense, allocation order); nil
-	// entries are objects this processor has no queue for yet.
-	byObj []*objQueue
+	// otqs is the FIFO of non-empty object task queues, as indices into
+	// slab; byObj maps object ID (dense, allocation order) to slab
+	// index plus one, with zero meaning the object has no queue here
+	// yet. Holding indices instead of pointers keeps both slices
+	// pointer-free and lets slab grow by reallocation without
+	// invalidating them.
+	otqs     []int32
+	otqsHead int
+	byObj    []int32
+	slab     []objQueue
 	// count of schedulable (stealable) tasks across otqs.
 	count int
 }
 
-func newProcQueue() *procQueue {
-	return &procQueue{}
-}
-
 // pushPlaced appends an explicitly placed task.
-func (q *procQueue) pushPlaced(t *jade.Task) { q.placed = append(q.placed, t) }
+func (q *procQueue) pushPlaced(tid int32) { q.placed = append(q.placed, tid) }
 
 // push inserts a task into the object task queue of its locality
 // object, creating and appending the OTQ if it was empty.
-func (q *procQueue) push(t *jade.Task, obj *jade.Object) {
-	for len(q.byObj) <= int(obj.ID) {
-		q.byObj = append(q.byObj, nil)
+func (q *procQueue) push(tid int32, obj *jade.Object) {
+	if len(q.byObj) <= int(obj.ID) {
+		if cap(q.byObj) > int(obj.ID) {
+			q.byObj = q.byObj[:int(obj.ID)+1]
+		} else {
+			grown := make([]int32, int(obj.ID)+1, 2*(int(obj.ID)+1))
+			copy(grown, q.byObj)
+			q.byObj = grown
+		}
 	}
-	otq := q.byObj[obj.ID]
-	if otq == nil {
-		otq = &objQueue{obj: obj}
-		q.byObj[obj.ID] = otq
+	oi := q.byObj[obj.ID]
+	if oi == 0 {
+		q.slab = append(q.slab, objQueue{})
+		oi = int32(len(q.slab))
+		q.byObj[obj.ID] = oi
 	}
+	otq := &q.slab[oi-1]
 	if otq.size() == 0 {
 		otq.tasks = otq.tasks[:0]
 		otq.head = 0
-		q.otqs = append(q.otqs, otq)
+		q.otqs = append(q.otqs, oi-1)
 	}
-	otq.tasks = append(otq.tasks, t)
+	otq.tasks = append(otq.tasks, tid)
 	q.count++
+}
+
+// liveOtqs returns the live window of the OTQ FIFO, resetting the
+// backing array once it drains.
+func (q *procQueue) liveOtqs() []int32 {
+	if q.otqsHead == len(q.otqs) {
+		q.otqs = q.otqs[:0]
+		q.otqsHead = 0
+	}
+	return q.otqs[q.otqsHead:]
 }
 
 // popFirst removes and returns the first task of the first object task
 // queue (the dispatch path), or the first placed task if any.
-func (q *procQueue) popFirst() *jade.Task {
+func (q *procQueue) popFirst() int32 {
 	if q.placedHead < len(q.placed) {
-		t := q.placed[q.placedHead]
+		tid := q.placed[q.placedHead]
 		q.placedHead++
 		if q.placedHead == len(q.placed) {
 			q.placed = q.placed[:0]
 			q.placedHead = 0
 		}
-		return t
+		return tid
 	}
-	for len(q.otqs) > 0 {
-		otq := q.otqs[0]
-		if otq.size() == 0 {
-			q.otqs = q.otqs[1:]
-			continue
-		}
-		t := otq.tasks[otq.head]
-		otq.head++
-		q.count--
-		if otq.size() == 0 {
-			q.otqs = q.otqs[1:]
-		}
-		return t
-	}
-	return nil
+	return q.stealFirst()
 }
 
 // stealLast removes and returns the last task of the last object task
 // queue (the steal path). Placed tasks are not stealable.
-func (q *procQueue) stealLast() *jade.Task {
-	for len(q.otqs) > 0 {
-		otq := q.otqs[len(q.otqs)-1]
+func (q *procQueue) stealLast() int32 {
+	for live := q.liveOtqs(); len(live) > 0; live = q.liveOtqs() {
+		otq := &q.slab[live[len(live)-1]]
 		if otq.size() == 0 {
 			q.otqs = q.otqs[:len(q.otqs)-1]
 			continue
 		}
-		t := otq.tasks[len(otq.tasks)-1]
+		tid := otq.tasks[len(otq.tasks)-1]
 		otq.tasks = otq.tasks[:len(otq.tasks)-1]
 		q.count--
 		if otq.size() == 0 {
 			q.otqs = q.otqs[:len(q.otqs)-1]
 		}
-		return t
+		return tid
 	}
-	return nil
+	return noTask
 }
 
 // stealFirst removes and returns the first task of the first object
-// task queue — the ablation variant that destroys the consecutive-
-// execution property the tail-steal preserves.
-func (q *procQueue) stealFirst() *jade.Task {
-	// Identical to popFirst but skipping placed tasks.
-	for len(q.otqs) > 0 {
-		otq := q.otqs[0]
+// task queue — as a steal it is the ablation variant that destroys the
+// consecutive-execution property the tail-steal preserves.
+func (q *procQueue) stealFirst() int32 {
+	for live := q.liveOtqs(); len(live) > 0; live = q.liveOtqs() {
+		otq := &q.slab[live[0]]
 		if otq.size() == 0 {
-			q.otqs = q.otqs[1:]
+			q.otqsHead++
 			continue
 		}
-		t := otq.tasks[otq.head]
+		tid := otq.tasks[otq.head]
 		otq.head++
 		q.count--
 		if otq.size() == 0 {
-			q.otqs = q.otqs[1:]
+			q.otqsHead++
 		}
-		return t
+		return tid
 	}
-	return nil
+	return noTask
 }
 
 // empty reports whether the queue holds no tasks at all.

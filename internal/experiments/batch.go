@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/jade"
+	"repro/internal/jade/graph"
+	"repro/internal/metrics"
+)
+
+// This file groups work-free sweep cells that replay the same captured
+// graph into batched VariantSets: one op-stream pass drives every
+// machine variant of a (app, scale, procs, place) group in lockstep,
+// sharing the materialized graph structure and dependence plan instead
+// of re-walking them once per cell. Reports stay byte-identical to
+// per-cell sequential execution — grouping changes only where the
+// front-end cost is paid.
+
+// batchable reports whether a canonical spec can join a VariantSet:
+// it must replay a cached graph (work-free, cache on, batching on),
+// and it must not be a chaos spec that panics before any machine runs.
+func batchable(s *RunSpec) bool {
+	if !s.WorkFree || !GraphCacheEnabled() || !BatchReplayEnabled() {
+		return false
+	}
+	return s.Fault == nil || !s.Fault.Panic
+}
+
+// groupKey buckets batchable specs sharing one captured graph.
+func groupKey(s *RunSpec, scale Scale, place bool) string {
+	return fmt.Sprintf("%s|%s|%d|%t", s.App, scale, s.Procs, place)
+}
+
+// ExecuteRuns executes every spec at the given scale across the pool
+// and returns bare runs in spec order. Work-free specs that replay the
+// same cached graph execute together as one batched VariantSet;
+// everything else runs individually via Execute. The first error (by
+// spec index, not completion order) is returned, and the results are
+// byte-identical to calling Execute per spec.
+func (r Runner) ExecuteRuns(specs []RunSpec, scale Scale) ([]*metrics.Run, error) {
+	canon := make([]RunSpec, len(specs))
+	errs := make([]error, len(specs))
+	for i := range specs {
+		canon[i] = specs[i]
+		errs[i] = canon[i].Canonicalize()
+	}
+	runs := r.executeCanonical(canon, errs, scale)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
+}
+
+// executeCanonical runs canonical specs, skipping indices whose
+// canonicalize error is already recorded in errs and writing execution
+// results into index-stable slots.
+func (r Runner) executeCanonical(canon []RunSpec, errs []error, scale Scale) []*metrics.Run {
+	runs := make([]*metrics.Run, len(canon))
+
+	// Partition into batched groups and individual cells. Group order
+	// never matters: every unit writes only its own pre-indexed slots.
+	groups := map[string][]int{}
+	var keys []string
+	var singles []int
+	for i := range canon {
+		if errs[i] != nil {
+			continue
+		}
+		s := &canon[i]
+		if !batchable(s) {
+			singles = append(singles, i)
+			continue
+		}
+		a := appKeys[s.App]
+		k := groupKey(s, scale, s.Level == LevelPlacement && a.hasPlacement)
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+
+	// One fan-out over groups + singles: a group is one unit of work
+	// (its variants run in lockstep on one goroutine), a single is one
+	// Execute call.
+	r.Each(len(keys)+len(singles), func(u int) {
+		if u >= len(keys) {
+			i := singles[u-len(keys)]
+			runs[i], errs[i] = canon[i].Execute(scale)
+			return
+		}
+		idxs := groups[keys[u]]
+		first := &canon[idxs[0]]
+		a := appKeys[first.App]
+		place := first.Level == LevelPlacement && a.hasPlacement
+		g := capturedGraph(a, scale, first.Procs, place)
+		vars := make([]graph.Variant, len(idxs))
+		for k, i := range idxs {
+			s := &canon[i]
+			vars[k] = graph.Variant{
+				Platform: s.newPlatform,
+				Cfg:      jade.Config{WorkFree: true},
+				// Fault injection perturbs machine behavior on purpose;
+				// keep those cells on the classic sequential path so a
+				// misbehaving injector can never touch its siblings.
+				Sequential: s.Fault != nil,
+			}
+		}
+		for k, vr := range graph.NewVariantSet(g, vars).Run() {
+			runs[idxs[k]], errs[idxs[k]] = vr.Run, vr.Err
+		}
+	})
+	return runs
+}

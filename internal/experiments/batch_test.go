@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// batchIdentitySpecs is the full byte-identity corpus: every default
+// sweep cell as a work-free run, the PGAS aggregation toggle in both
+// positions (two cells that share a group but need distinct machine
+// instances), and a non-panicking faulted cell (which must ride the
+// group as a Sequential fallback without perturbing its siblings).
+func batchIdentitySpecs() []RunSpec {
+	specs := DefaultRunSpecs()
+	for i := range specs {
+		specs[i].WorkFree = true
+	}
+	on, off := true, false
+	specs = append(specs,
+		RunSpec{App: "spmv", Machine: "pgas", Procs: 8, Level: LevelLocality,
+			WorkFree: true, Aggregation: &on},
+		RunSpec{App: "spmv", Machine: "pgas", Procs: 8, Level: LevelLocality,
+			WorkFree: true, Aggregation: &off},
+		RunSpec{App: "water", Machine: "ipsc", Procs: 8, Level: LevelLocality,
+			WorkFree: true, Fault: &fault.Spec{Seed: 42, DropPct: 0.1}},
+	)
+	return specs
+}
+
+// TestExecuteRunsByteIdenticalToSequential pins the batched sweep path
+// end to end: ExecuteRuns (grouped VariantSets over the shared graph
+// cache) must produce byte-identical reports to executing every spec
+// individually with batching disabled. This is the experiments-level
+// mirror of graph.TestVariantSetByteIdentical — it additionally covers
+// spec canonicalization, platform construction, the graph cache, and
+// the batchable/Sequential routing rules.
+func TestExecuteRunsByteIdenticalToSequential(t *testing.T) {
+	specs := batchIdentitySpecs()
+
+	if !BatchReplayEnabled() || !GraphCacheEnabled() {
+		t.Fatal("batched replay or graph cache disabled by default")
+	}
+	batched, err := NewRunner(4).ExecuteRuns(specs, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != len(specs) {
+		t.Fatalf("got %d runs, want %d", len(batched), len(specs))
+	}
+
+	SetBatchReplay(false)
+	defer SetBatchReplay(true)
+	for i, s := range specs {
+		seq, err := s.Execute(Small)
+		if err != nil {
+			t.Fatalf("spec %d (%s/%s): %v", i, s.App, s.Machine, err)
+		}
+		sj, merr := json.Marshal(seq.Report())
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		bj, merr := json.Marshal(batched[i].Report())
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		if !bytes.Equal(sj, bj) {
+			t.Errorf("spec %d (%s/%s level=%s aggregation=%v fault=%v): batched run diverged\nsequential: %s\nbatched:    %s",
+				i, s.App, s.Machine, s.Level, s.Aggregation, s.Fault != nil, sj, bj)
+		}
+	}
+}

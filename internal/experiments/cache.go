@@ -156,6 +156,23 @@ func SetGraphCache(on bool) { graphCacheOn.Store(on) }
 // graphs.
 func GraphCacheEnabled() bool { return graphCacheOn.Load() }
 
+// batchReplayOn gates the plan-backed replay paths: ReplayPlanned for
+// individual work-free runs and VariantSet grouping in ExecuteRuns.
+// Off, work-free runs take the classic per-run sequential Replay.
+var batchReplayOn atomic.Bool
+
+func init() { batchReplayOn.Store(true) }
+
+// SetBatchReplay enables or disables plan-backed batched replay for
+// work-free runs (jadebench -batch-replay). The reports are
+// byte-identical either way; the toggle exists for benchmarking and
+// for bisecting any future divergence.
+func SetBatchReplay(on bool) { batchReplayOn.Store(on) }
+
+// BatchReplayEnabled reports whether work-free runs use the shared
+// replay plan.
+func BatchReplayEnabled() bool { return batchReplayOn.Load() }
+
 // capturedGraph returns the task graph for one front-end build,
 // capturing it on first use. Processor count is part of the key:
 // applications shape their structure around Runtime.Processors
@@ -177,7 +194,11 @@ func capturedGraph(a *appSpec, scale Scale, procs int, place bool) *graph.Graph 
 func runApp(p jade.Platform, cfg jade.Config, a *appSpec, scale Scale, place bool) *metrics.Run {
 	if cfg.WorkFree && GraphCacheEnabled() {
 		g := capturedGraph(a, scale, p.Processors(), place)
-		if r, err := g.Replay(p, cfg); err == nil {
+		if BatchReplayEnabled() {
+			if r, err := g.ReplayPlanned(p, cfg); err == nil {
+				return r
+			}
+		} else if r, err := g.Replay(p, cfg); err == nil {
 			return r
 		}
 		// Replay refused (defensive: work-free captures carry no

@@ -103,17 +103,30 @@ func (r Runner) Each(n int, fn func(i int)) {
 }
 
 // ExecuteSpecs runs every spec at the given scale across the pool and
-// returns the results in spec order. The first error (by spec index,
-// not completion order) is returned, keeping failures deterministic.
+// returns the results in spec order. Work-free specs sharing a cached
+// graph batch into VariantSets (see ExecuteRuns); the output is
+// byte-identical to per-spec execution. The first error (by spec
+// index, not completion order) is returned, keeping failures
+// deterministic.
 func (r Runner) ExecuteSpecs(specs []RunSpec, scale Scale) ([]InstrumentedRun, error) {
-	runs := make([]InstrumentedRun, len(specs))
+	canon := make([]RunSpec, len(specs))
 	errs := make([]error, len(specs))
-	r.Each(len(specs), func(i int) {
-		runs[i], errs[i] = specs[i].Instrumented(scale)
-	})
+	for i := range specs {
+		canon[i] = specs[i]
+		errs[i] = canon[i].Canonicalize()
+	}
+	res := r.executeCanonical(canon, errs, scale)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
+		}
+	}
+	runs := make([]InstrumentedRun, len(specs))
+	for i := range canon {
+		s := &canon[i]
+		runs[i] = InstrumentedRun{
+			App: s.App, Machine: s.Machine, Procs: s.Procs,
+			Level: s.Level, Fault: s.Fault, Metrics: res[i].Report(),
 		}
 	}
 	return runs, nil

@@ -220,20 +220,11 @@ func pgasLevel(level string) pgas.LocalityLevel {
 	return pgas.Affinity
 }
 
-// Execute canonicalizes a copy of the spec and runs it at the given
-// scale. The simulated machines are deterministic: the same canonical
-// spec and scale always produce the same Run.
-func (s RunSpec) Execute(scale Scale) (*metrics.Run, error) {
-	if err := s.Canonicalize(); err != nil {
-		return nil, err
-	}
-	a := appKeys[s.App]
-	place := s.Level == LevelPlacement && a.hasPlacement
-	if s.Fault != nil && s.Fault.Panic {
-		// Chaos hook for the serving stack: a spec can ask its own
-		// execution to panic, exercising per-job panic isolation.
-		panic(fmt.Sprintf("fault: injected panic (app=%s machine=%s)", s.App, s.Machine))
-	}
+// newPlatform builds a fresh platform for a canonical spec, with fault
+// injection and observation attached. Each call returns a new machine:
+// the batched replay path calls it once per admitted variant and again
+// on fallback, and a platform is never reused across runs.
+func (s *RunSpec) newPlatform() jade.Platform {
 	var inj *fault.Injector
 	if s.Fault != nil {
 		inj = fault.NewInjector(*s.Fault, s.Procs)
@@ -289,7 +280,24 @@ func (s RunSpec) Execute(scale Scale) (*metrics.Run, error) {
 		}
 		p = m
 	}
-	return runApp(p, jade.Config{WorkFree: s.WorkFree}, a, scale, place), nil
+	return p
+}
+
+// Execute canonicalizes a copy of the spec and runs it at the given
+// scale. The simulated machines are deterministic: the same canonical
+// spec and scale always produce the same Run.
+func (s RunSpec) Execute(scale Scale) (*metrics.Run, error) {
+	if err := s.Canonicalize(); err != nil {
+		return nil, err
+	}
+	a := appKeys[s.App]
+	place := s.Level == LevelPlacement && a.hasPlacement
+	if s.Fault != nil && s.Fault.Panic {
+		// Chaos hook for the serving stack: a spec can ask its own
+		// execution to panic, exercising per-job panic isolation.
+		panic(fmt.Sprintf("fault: injected panic (app=%s machine=%s)", s.App, s.Machine))
+	}
+	return runApp(s.newPlatform(), jade.Config{WorkFree: s.WorkFree}, a, scale, place), nil
 }
 
 // Instrumented executes the spec and wraps the result in the

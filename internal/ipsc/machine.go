@@ -18,8 +18,8 @@ import (
 // replies) costs NIC time but does not occupy the CPU, matching the
 // NX/2 handler model.
 type node struct {
-	cpu *sim.Processor
-	nic *sim.Processor
+	cpu sim.Processor
+	nic sim.Processor
 	// store holds, per object ID, the version this node has a copy of,
 	// or -1 for none. Object IDs are dense, so a slice indexed by ID
 	// replaces the former map on this hot path.
@@ -39,8 +39,9 @@ type node struct {
 // taskState is the scheduler/communicator bookkeeping for one task.
 type taskState struct {
 	t      *jade.Task
-	target int // owner of the locality object at scheduling time
-	proc   int // node it was assigned to
+	idx    int32 // position in Machine.tsList, for pointer-free events
+	target int   // owner of the locality object at scheduling time
+	proc   int   // node it was assigned to
 	// needed counts outstanding object fetches.
 	needed int
 	// fetch latency accounting (§5.5).
@@ -87,22 +88,40 @@ type Machine struct {
 	// processor is at its target load (§3.4.3).
 	pool []*taskState
 
-	// createdDone is indexed by task ID (dense, creation order).
+	// tasks is the dense task table, indexed by task ID (creation
+	// order); createdDone is indexed the same way. Scheduling events
+	// carry task IDs instead of pointers and resolve them here.
+	tasks       []*jade.Task
 	createdDone []sim.Time
 	fcfsNext    int // rotating pointer for NoLocality FCFS
 	// tsSlab is a chunked arena for taskState values (one per task;
 	// pointers into a chunk stay stable because chunks never grow).
+	// tsList indexes them in scheduling order so communication events
+	// can carry a taskState's position instead of its pointer.
 	tsSlab []taskState
+	tsList []*taskState
 
-	// notifyFns and completeDoneFns are the per-processor completion
-	// handlers (the p→main message delivery and the main-CPU handler it
-	// schedules). They capture only the processor index, so interning
-	// them saves two allocations per completed task.
-	notifyFns       []func()
+	// notifyH handles a completion message arriving at the main node
+	// from processor arg: it charges the handler cost and schedules
+	// the load decrement on the main CPU. completeDoneCallH and
+	// execDoneCallH are its continuations with the same
+	// processor-index argument; scheduleH (task ID) and taskArrivedH
+	// (tsList index) are the registered handlers for scheduler entry
+	// and local task arrival. All are registered once per machine, so
+	// every hot-path event stays pointer-free.
+	notifyH           sim.Handler
+	completeDoneCallH sim.Handler
+	execDoneCallH     sim.Handler
+	scheduleH         sim.Handler
+	taskArrivedH      sim.Handler
+	// completeDoneFns and execDoneFns are the span-recording variants,
+	// needed only under observability or tracing; they are built on
+	// first use (see spanCompleteDoneFns/spanExecDoneFns).
 	completeDoneFns []func(start, end sim.Time)
-	// execDoneFns are the per-node execution-completion handlers; the
-	// finished task comes from the node's inflight FIFO.
-	execDoneFns []func(start, end sim.Time)
+	execDoneFns     []func(start, end sim.Time)
+	// osSlab is a chunked arena for objState values (one per object;
+	// pointers into a chunk stay stable because chunks never grow).
+	osSlab []objState
 
 	// Trace, when non-nil, records scheduling, communication and
 	// execution events.
@@ -140,44 +159,107 @@ func New(cfg Config) *Machine {
 		cfg: cfg,
 		eng: sim.New(),
 	}
-	m.notifyFns = make([]func(), cfg.Procs)
-	m.completeDoneFns = make([]func(start, end sim.Time), cfg.Procs)
-	m.execDoneFns = make([]func(start, end sim.Time), cfg.Procs)
+	m.scheduleH = m.eng.RegisterHandler(func(tid int32) { m.schedule(m.tasks[tid]) })
+	m.taskArrivedH = m.eng.RegisterHandler(func(i int32) { m.taskArrived(m.tsList[i]) })
+	m.completeDoneCallH = m.eng.RegisterHandler(func(v int32) {
+		p := int(v)
+		m.nodes[p].load--
+		m.drainPool(p)
+	})
+	m.execDoneCallH = m.eng.RegisterHandler(func(v int32) {
+		m.completed(m.popInflight(int(v)))
+	})
+	m.notifyH = m.eng.RegisterHandler(func(v int32) {
+		m.stats.TaskMgmtTime += m.cfg.CompleteHandleSec
+		if m.Obs.Enabled() {
+			m.nodes[0].cpu.Submit(m.eng.Now(), sim.Time(m.cfg.CompleteHandleSec), m.spanCompleteDoneFns()[v])
+		} else {
+			m.nodes[0].cpu.SubmitCall(m.eng.Now(), sim.Time(m.cfg.CompleteHandleSec), m.completeDoneCallH, v)
+		}
+	})
+	nslab := make([]node, cfg.Procs)
 	for i := 0; i < cfg.Procs; i++ {
-		m.nodes = append(m.nodes, &node{
-			cpu: sim.NewProcessor(m.eng),
-			nic: sim.NewProcessor(m.eng),
-		})
-		p := i
-		m.completeDoneFns[i] = func(start, end sim.Time) {
-			m.Obs.Span(0, obsv.StateMgmt, float64(start), float64(end))
-			m.nodes[p].load--
-			m.drainPool(p)
-		}
-		m.notifyFns[i] = func() {
-			m.stats.TaskMgmtTime += m.cfg.CompleteHandleSec
-			m.nodes[0].cpu.Submit(m.eng.Now(), sim.Time(m.cfg.CompleteHandleSec), m.completeDoneFns[p])
-		}
-		m.execDoneFns[i] = func(start, end sim.Time) {
-			n := m.nodes[p]
-			ts := n.inflight[n.inflightHead]
-			n.inflightHead++
-			if n.inflightHead == len(n.inflight) {
-				n.inflight = n.inflight[:0]
-				n.inflightHead = 0
-			}
-			m.traceEvent(float64(start), trace.ExecStart, int(ts.t.ID), p, "")
-			m.traceEvent(float64(end), trace.ExecEnd, int(ts.t.ID), p, "")
-			m.Obs.Span(p, obsv.StateTask, float64(start), float64(end))
-			m.completed(ts)
-		}
+		nslab[i].cpu = sim.MakeProcessor(m.eng)
+		nslab[i].nic = sim.MakeProcessor(m.eng)
+		m.nodes = append(m.nodes, &nslab[i])
 	}
 	m.stats.Procs = cfg.Procs
 	return m
 }
 
+// popInflight pops the next completed task from node p's execution
+// FIFO (resetting the backing array when it drains).
+func (m *Machine) popInflight(p int) *taskState {
+	n := m.nodes[p]
+	ts := n.inflight[n.inflightHead]
+	n.inflightHead++
+	if n.inflightHead == len(n.inflight) {
+		n.inflight = n.inflight[:0]
+		n.inflightHead = 0
+	}
+	return ts
+}
+
+// spanCompleteDoneFns builds the per-processor span-recording
+// completion handlers on first use; only observability runs need them.
+func (m *Machine) spanCompleteDoneFns() []func(start, end sim.Time) {
+	if m.completeDoneFns == nil {
+		m.completeDoneFns = make([]func(start, end sim.Time), m.cfg.Procs)
+		for i := range m.completeDoneFns {
+			p := i
+			m.completeDoneFns[i] = func(start, end sim.Time) {
+				m.Obs.Span(0, obsv.StateMgmt, float64(start), float64(end))
+				m.nodes[p].load--
+				m.drainPool(p)
+			}
+		}
+	}
+	return m.completeDoneFns
+}
+
+// spanExecDoneFns builds the per-node span-recording execution
+// handlers on first use; only traced or observed runs need them.
+func (m *Machine) spanExecDoneFns() []func(start, end sim.Time) {
+	if m.execDoneFns == nil {
+		m.execDoneFns = make([]func(start, end sim.Time), m.cfg.Procs)
+		for i := range m.execDoneFns {
+			p := i
+			m.execDoneFns[i] = func(start, end sim.Time) {
+				ts := m.popInflight(p)
+				m.traceEvent(float64(start), trace.ExecStart, int(ts.t.ID), p, "")
+				m.traceEvent(float64(end), trace.ExecEnd, int(ts.t.ID), p, "")
+				m.Obs.Span(p, obsv.StateTask, float64(start), float64(end))
+				m.completed(ts)
+			}
+		}
+	}
+	return m.execDoneFns
+}
+
 // Attach implements jade.Platform.
 func (m *Machine) Attach(rt *jade.Runtime) { m.rt = rt }
+
+// ReserveCapacity implements the replay capacity hint: size the dense
+// per-object and per-task structures for the counts the plan already
+// knows, so the run appends without ever growing them.
+func (m *Machine) ReserveCapacity(objects, tasks int) {
+	m.objs = make([]*objState, 0, objects)
+	m.osSlab = make([]objState, 0, objects)
+	m.tsSlab = make([]taskState, 0, tasks)
+	m.tsList = make([]*taskState, 0, tasks)
+	m.tasks = make([]*jade.Task, 0, tasks)
+	m.createdDone = make([]sim.Time, 0, tasks)
+	// One backing array for every node's store: each node appends
+	// within its own fixed-capacity window.
+	flat := make([]jade.Version, 0, objects*len(m.nodes))
+	for i, n := range m.nodes {
+		n.store = flat[i*objects : i*objects : (i+1)*objects]
+	}
+}
+
+// Attached reports whether a runtime has ever been bound to the
+// machine; graph replay uses it to refuse reused platforms.
+func (m *Machine) Attached() bool { return m.rt != nil }
 
 // Processors implements jade.Platform.
 func (m *Machine) Processors() int { return m.cfg.Procs }
@@ -191,7 +273,13 @@ func (m *Machine) Config() Config { return m.cfg }
 // costs Panel Cholesky its first-touch locality on the iPSC, Figure
 // 15).
 func (m *Machine) ObjectAllocated(o *jade.Object) {
-	m.objs = append(m.objs, &objState{owner: 0, version: 0, accessedBy: oneProc(0)})
+	if len(m.osSlab) == cap(m.osSlab) {
+		m.osSlab = make([]objState, 0, nextChunk(cap(m.osSlab)))
+	}
+	m.osSlab = m.osSlab[:len(m.osSlab)+1]
+	st := &m.osSlab[len(m.osSlab)-1]
+	*st = objState{owner: 0, version: 0, accessedBy: oneProc(0)}
+	m.objs = append(m.objs, st)
 	for _, n := range m.nodes {
 		n.store = append(n.store, -1)
 	}
@@ -214,10 +302,11 @@ func (m *Machine) submitMgmt(at sim.Time, d float64) sim.Time {
 func (m *Machine) TaskCreated(t *jade.Task, enabled bool) {
 	done := m.submitMgmt(m.eng.Now(), m.cfg.TaskCreateSec)
 	m.stats.TaskMgmtTime += m.cfg.TaskCreateSec
+	m.tasks = append(m.tasks, t)
 	m.createdDone = append(m.createdDone, done)
 	m.traceEvent(float64(done), trace.TaskCreated, int(t.ID), 0, "")
 	if enabled {
-		m.eng.At(done, func() { m.schedule(t) })
+		m.eng.AtCall(done, m.scheduleH, int32(t.ID))
 	}
 }
 
@@ -227,7 +316,7 @@ func (m *Machine) TaskEnabled(t *jade.Task) {
 	if cd := m.createdDone[t.ID]; cd > at {
 		at = cd
 	}
-	m.eng.At(at, func() { m.schedule(t) })
+	m.eng.AtCall(at, m.scheduleH, int32(t.ID))
 }
 
 // SerialWork implements jade.Platform. Serial phases run on node 0,
@@ -318,6 +407,21 @@ func (m *Machine) send(at sim.Time, from, to, bytes int, deliver func()) {
 	try(at, 0)
 }
 
+// sendCall is the closure-free variant of send for registered
+// handlers: on the healthy path the delivery is scheduled as a
+// pointer-free h(arg) event. With an injector attached the retransmit
+// protocol needs its own closures anyway, so it delegates to send.
+func (m *Machine) sendCall(at sim.Time, from, to, bytes int, h sim.Handler, arg int32) {
+	if m.Inj == nil {
+		occ := sim.Time(m.cfg.sendOccupancy(bytes))
+		lat := sim.Time(m.cfg.msgLatency(from, to))
+		sent := m.nodes[from].nic.Submit(at, occ, nil)
+		m.eng.AtCall(sent+lat, h, arg)
+		return
+	}
+	m.send(at, from, to, bytes, func() { m.eng.Invoke(h, arg) })
+}
+
 // cpuFactor is the straggler slowdown for processor p (1 when no
 // injector is attached or p is healthy).
 func (m *Machine) cpuFactor(p int) float64 {
@@ -328,11 +432,12 @@ func (m *Machine) cpuFactor(p int) float64 {
 // processor for one enabled task (§3.4.3).
 func (m *Machine) schedule(t *jade.Task) {
 	if len(m.tsSlab) == cap(m.tsSlab) {
-		m.tsSlab = make([]taskState, 0, 256)
+		m.tsSlab = make([]taskState, 0, nextChunk(cap(m.tsSlab)))
 	}
 	m.tsSlab = m.tsSlab[:len(m.tsSlab)+1]
 	ts := &m.tsSlab[len(m.tsSlab)-1]
-	*ts = taskState{t: t, target: m.targetOf(t), proc: -1}
+	*ts = taskState{t: t, idx: int32(len(m.tsList)), target: m.targetOf(t), proc: -1}
+	m.tsList = append(m.tsList, ts)
 	var p int
 	switch {
 	case m.cfg.Level == TaskPlacement && t.Placed >= 0:
@@ -419,10 +524,10 @@ func (m *Machine) assign(ts *taskState, p int) {
 	m.stats.TaskMgmtTime += m.cfg.AssignSec
 	decided := m.submitMgmt(m.eng.Now(), m.cfg.AssignSec)
 	if p == 0 {
-		m.eng.At(decided, func() { m.taskArrived(ts) })
+		m.eng.AtCall(decided, m.taskArrivedH, ts.idx)
 		return
 	}
-	m.send(decided, 0, p, m.cfg.TaskMsgBytes, func() { m.taskArrived(ts) })
+	m.sendCall(decided, 0, p, m.cfg.TaskMsgBytes, m.taskArrivedH, ts.idx)
 }
 
 // taskArrived runs in the receiving node's message handler: it
@@ -553,7 +658,11 @@ func (m *Machine) ready(ts *taskState) {
 	m.rt.RunBody(ts.t)
 	n := m.nodes[p]
 	n.inflight = append(n.inflight, ts)
-	n.cpu.Submit(m.eng.Now(), sim.Time(m.cfg.DispatchSec+work), m.execDoneFns[p])
+	if m.Obs.Enabled() || m.Trace.Enabled() {
+		n.cpu.Submit(m.eng.Now(), sim.Time(m.cfg.DispatchSec+work), m.spanExecDoneFns()[p])
+	} else {
+		n.cpu.SubmitCall(m.eng.Now(), sim.Time(m.cfg.DispatchSec+work), m.execDoneCallH, int32(p))
+	}
 }
 
 // traceEvent records an event when tracing is enabled.
@@ -617,10 +726,10 @@ func (m *Machine) completed(ts *taskState) {
 	// delivery callback and the main-CPU handler are interned per
 	// processor (they capture nothing task-specific).
 	if p == 0 {
-		m.notifyFns[0]()
+		m.eng.Invoke(m.notifyH, 0)
 		return
 	}
-	m.send(m.eng.Now(), p, 0, m.cfg.CompletionBytes, m.notifyFns[p])
+	m.sendCall(m.eng.Now(), p, 0, m.cfg.CompletionBytes, m.notifyH, int32(p))
 }
 
 // produce installs a new version of an object owned by processor p,
@@ -769,5 +878,19 @@ func (m *Machine) MainTouches(accs []jade.Access) {
 		if a.Writes() {
 			m.produce(o, a.RequiredVersion+1, 0)
 		}
+	}
+}
+
+// nextChunk sizes a slab's next chunk: doubling from a small start so
+// short runs allocate little while long runs quickly reach a cheap
+// steady state.
+func nextChunk(prev int) int {
+	switch {
+	case prev == 0:
+		return 32
+	case prev >= 1024:
+		return 1024
+	default:
+		return 2 * prev
 	}
 }

@@ -34,6 +34,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/jade"
 	"repro/internal/metrics"
@@ -104,6 +105,13 @@ type Graph struct {
 	accs     []accessDef
 	releases []int32
 	ops      []opKind
+
+	// planOnce lazily builds the shared replay plan (see plan.go): one
+	// materialization of objects, tasks, and synchronization structure
+	// that every plan-backed replay of this graph borrows read-only.
+	planOnce sync.Once
+	plan     *replayPlan
+	planErr  error
 }
 
 // Procs returns the processor count the graph was captured at. Apps
@@ -132,6 +140,27 @@ func (g *Graph) ObjectCount() int { return len(g.objects) }
 // so the caller must execute the program directly instead.
 var ErrNotReplayable = errors.New("graph: captured run has task bodies; execute directly")
 
+// ErrPlatformReused is returned when a platform handed to Replay (or a
+// Variant factory) has already been attached to a runtime. A machine
+// model accumulates virtual time and statistics across its life, so
+// replaying into a used one would silently fold two runs' measurements
+// together.
+var ErrPlatformReused = errors.New("graph: platform already ran a runtime; replay needs a fresh platform")
+
+// attachChecker is implemented by the machine models: Attached reports
+// whether a runtime has ever been bound to the platform. Platforms
+// that don't implement it (e.g. test doubles) skip the freshness check.
+type attachChecker interface{ Attached() bool }
+
+// checkFresh enforces Replay's documented "platform must be fresh"
+// precondition where the platform can report it.
+func checkFresh(p jade.Platform) error {
+	if c, ok := p.(attachChecker); ok && c.Attached() {
+		return ErrPlatformReused
+	}
+	return nil
+}
+
 // Replay feeds the captured graph into the platform and returns the
 // run's measurements, exactly as if the original program had been
 // executed against it. The platform must be fresh (no prior runs) and
@@ -146,6 +175,9 @@ func (g *Graph) Replay(p jade.Platform, cfg jade.Config) (*metrics.Run, error) {
 	}
 	if cfg.WorkFree != g.workFree {
 		return nil, fmt.Errorf("graph: captured with work-free=%t, replay asked work-free=%t", g.workFree, cfg.WorkFree)
+	}
+	if err := checkFresh(p); err != nil {
+		return nil, err
 	}
 
 	rt := jade.New(p, cfg)

@@ -233,6 +233,181 @@ func TestReplayValidatesConfig(t *testing.T) {
 	}
 }
 
+func TestReplayRejectsReusedPlatform(t *testing.T) {
+	g := Capture(4, true, stencil)
+	cfg := jade.Config{WorkFree: true}
+	p := dash.New(dash.DefaultConfig(4, dash.TaskPlacement))
+	if _, err := g.Replay(p, cfg); err != nil {
+		t.Fatalf("first Replay: %v", err)
+	}
+	// A machine accumulates virtual time and stats across its life;
+	// before the explicit check, replaying into it again silently
+	// folded two runs together.
+	if _, err := g.Replay(p, cfg); !errors.Is(err, ErrPlatformReused) {
+		t.Fatalf("second Replay error = %v, want ErrPlatformReused", err)
+	}
+	if _, err := g.ReplayPlanned(p, cfg); !errors.Is(err, ErrPlatformReused) {
+		t.Fatalf("ReplayPlanned on used platform error = %v, want ErrPlatformReused", err)
+	}
+	res := NewVariantSet(g, []Variant{{
+		Platform: func() jade.Platform { return p },
+		Cfg:      cfg,
+	}}).Run()
+	if !errors.Is(res[0].Err, ErrPlatformReused) {
+		t.Fatalf("VariantSet on used platform error = %v, want ErrPlatformReused", res[0].Err)
+	}
+
+	// A used platform must also be refused on a runtime built directly.
+	p2 := ipsc.New(ipsc.DefaultConfig(4, ipsc.Locality))
+	jade.New(p2, cfg)
+	if _, err := g.Replay(p2, cfg); !errors.Is(err, ErrPlatformReused) {
+		t.Fatalf("Replay on attached platform error = %v, want ErrPlatformReused", err)
+	}
+}
+
+// TestReplayPlannedByteIdentical pins the plan-backed single replay
+// against the sequential synchronizer-backed one, on both machines,
+// for both the barrier-heavy stencil and the early-release staged
+// program (which exercises completeOn).
+func TestReplayPlannedByteIdentical(t *testing.T) {
+	progs := []struct {
+		name  string
+		procs int
+		run   func(*jade.Runtime)
+	}{
+		{"stencil", 4, stencil},
+		{"staged", 2, staged},
+	}
+	for _, prog := range progs {
+		for _, workFree := range []bool{false, true} {
+			if prog.name == "staged" && workFree {
+				continue // releases are dropped work-free; stencil covers it
+			}
+			g := Capture(prog.procs, workFree, prog.run)
+			cfg := jade.Config{WorkFree: workFree}
+			for _, machine := range []string{"dash", "ipsc"} {
+				t.Run(fmt.Sprintf("%s/%s/workFree=%t", prog.name, machine, workFree), func(t *testing.T) {
+					newPlatform := func() jade.Platform {
+						if machine == "dash" {
+							return dash.New(dash.DefaultConfig(prog.procs, dash.TaskPlacement))
+						}
+						return ipsc.New(ipsc.DefaultConfig(prog.procs, ipsc.TaskPlacement))
+					}
+					seq, err := g.Replay(newPlatform(), cfg)
+					if err != nil {
+						t.Fatalf("Replay: %v", err)
+					}
+					planned, err := g.ReplayPlanned(newPlatform(), cfg)
+					if err != nil {
+						t.Fatalf("ReplayPlanned: %v", err)
+					}
+					sj, pj := runJSON(t, seq), runJSON(t, planned)
+					if !bytes.Equal(sj, pj) {
+						t.Fatalf("planned replay diverged:\nsequential:\n%s\nplanned:\n%s", sj, pj)
+					}
+				})
+			}
+		}
+	}
+}
+
+// panicPlatform wraps a platform and panics on the Nth TaskCreated —
+// a stand-in for a machine-model bug in one variant of a batch.
+type panicPlatform struct {
+	jade.Platform
+	left int
+}
+
+func (p *panicPlatform) TaskCreated(t *jade.Task, enabled bool) {
+	p.left--
+	if p.left == 0 {
+		panic("panicPlatform: injected machine failure")
+	}
+	p.Platform.TaskCreated(t, enabled)
+}
+
+// TestVariantSetByteIdentical drives one graph into many variants —
+// both machines at every locality level — in one batched pass and
+// demands byte-identity with sequential Replay for each. A Sequential
+// variant and a mid-stream panicking variant ride along to prove the
+// fallback path isolates them without corrupting siblings.
+func TestVariantSetByteIdentical(t *testing.T) {
+	g := Capture(4, true, stencil)
+
+	type cell struct {
+		name string
+		make func() jade.Platform
+		cfg  jade.Config
+		seq  bool
+	}
+	var cells []cell
+	for _, lvl := range []dash.LocalityLevel{dash.NoLocality, dash.Locality, dash.TaskPlacement} {
+		lvl := lvl
+		cells = append(cells, cell{
+			name: fmt.Sprintf("dash/level=%d", lvl),
+			make: func() jade.Platform { return dash.New(dash.DefaultConfig(4, lvl)) },
+			cfg:  jade.Config{WorkFree: true, Locality: jade.LocalityFirst},
+		})
+	}
+	for _, lvl := range []ipsc.LocalityLevel{ipsc.NoLocality, ipsc.Locality, ipsc.TaskPlacement} {
+		lvl := lvl
+		cells = append(cells, cell{
+			name: fmt.Sprintf("ipsc/level=%d", lvl),
+			make: func() jade.Platform { return ipsc.New(ipsc.DefaultConfig(4, lvl)) },
+			cfg:  jade.Config{WorkFree: true, Locality: jade.LocalityFirst},
+		})
+	}
+	// A variant forced off the batched pass (the fault-injection rule).
+	cells = append(cells, cell{
+		name: "ipsc/sequential",
+		make: func() jade.Platform { return ipsc.New(ipsc.DefaultConfig(4, ipsc.Locality)) },
+		cfg:  jade.Config{WorkFree: true, Locality: jade.LocalityFirst},
+		seq:  true,
+	})
+
+	vars := make([]Variant, len(cells))
+	for i, c := range cells {
+		vars[i] = Variant{Platform: c.make, Cfg: c.cfg, Sequential: c.seq}
+	}
+	// One extra variant whose machine panics mid-stream; its fallback
+	// panics too, so it must surface as an error without touching the
+	// others.
+	vars = append(vars, Variant{
+		Platform: func() jade.Platform {
+			return &panicPlatform{Platform: dash.New(dash.DefaultConfig(4, dash.Locality)), left: 5}
+		},
+		Cfg: jade.Config{WorkFree: true, Locality: jade.LocalityFirst},
+	})
+
+	res := NewVariantSet(g, vars).Run()
+	if len(res) != len(cells)+1 {
+		t.Fatalf("got %d results, want %d", len(res), len(cells)+1)
+	}
+	for i, c := range cells {
+		if res[i].Err != nil {
+			t.Fatalf("%s: %v", c.name, res[i].Err)
+		}
+		if c.seq != res[i].Fallback {
+			t.Fatalf("%s: Fallback = %t, want %t", c.name, res[i].Fallback, c.seq)
+		}
+		seq, err := g.Replay(c.make(), c.cfg)
+		if err != nil {
+			t.Fatalf("%s: sequential Replay: %v", c.name, err)
+		}
+		sj, bj := runJSON(t, seq), runJSON(t, res[i].Run)
+		if !bytes.Equal(sj, bj) {
+			t.Fatalf("%s: batched variant diverged:\nsequential:\n%s\nbatched:\n%s", c.name, sj, bj)
+		}
+	}
+	bad := res[len(cells)]
+	if bad.Err == nil || bad.Run != nil {
+		t.Fatalf("panicking variant: Run=%v Err=%v, want nil Run and an error", bad.Run, bad.Err)
+	}
+	if !bad.Fallback {
+		t.Fatalf("panicking variant did not report fallback")
+	}
+}
+
 func TestReplayConcurrent(t *testing.T) {
 	g := Capture(4, true, stencil)
 	rt := jade.New(ipsc.New(ipsc.DefaultConfig(4, ipsc.Locality)), jade.Config{WorkFree: true})

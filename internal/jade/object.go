@@ -40,7 +40,7 @@ type Object struct {
 
 // Version numbers an object's state: version 0 is the initial
 // allocation; each write produces the next version.
-type Version int
+type Version int32
 
 // AllocOpt configures Alloc.
 type AllocOpt func(*Object)

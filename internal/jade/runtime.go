@@ -34,6 +34,13 @@ type Runtime struct {
 	taskSlab []Task
 	objSlab  []Object
 
+	// rp, when non-nil, puts the runtime in replay mode: objects and
+	// tasks are shared read-only materializations of a captured graph
+	// (see replay.go) and all synchronization state lives in rp's flat
+	// per-variant slices instead of the Synchronizer and the Task and
+	// Object structs. sync is nil in this mode.
+	rp *replayState
+
 	outstanding atomic.Int64
 	finished    bool
 }
@@ -62,6 +69,9 @@ func (rt *Runtime) Processors() int { return rt.platform.Processors() }
 func (rt *Runtime) Alloc(name string, size int, data interface{}, opts ...AllocOpt) *Object {
 	if rt.finished {
 		panic("jade: Alloc after Finish")
+	}
+	if rt.rp != nil {
+		panic("jade: Alloc on a replay runtime (objects come from the plan)")
 	}
 	if len(rt.objSlab) == 0 {
 		rt.objSlab = make([]Object, slabSize)
@@ -129,6 +139,9 @@ func (rt *Runtime) WithAccesses(accs []Access, work float64, body func(), opts .
 	if rt.finished {
 		panic("jade: WithOnly after Finish")
 	}
+	if rt.rp != nil {
+		panic("jade: task created on a replay runtime (tasks come from the plan)")
+	}
 	if len(accs) == 0 {
 		panic("jade: task declared no accesses")
 	}
@@ -178,6 +191,9 @@ func (rt *Runtime) Serial(work float64, body func(), spec ...func(*Spec)) {
 // phase whose access list is pre-built, taking ownership of accs. The
 // graph replayer uses it to re-issue captured serial phases.
 func (rt *Runtime) SerialAccesses(work float64, body func(), accs []Access) {
+	if rt.rp != nil {
+		panic("jade: SerialAccesses on a replay runtime (use ReplaySerial)")
+	}
 	if rt.outstanding.Load() != 0 {
 		panic("jade: Serial with tasks outstanding; call Wait first")
 	}
@@ -212,6 +228,12 @@ func (rt *Runtime) Wait() {
 // at the virtual time the task starts executing; by then the
 // synchronizer guarantees all conflicting predecessors have completed.
 func (rt *Runtime) RunBody(t *Task) {
+	if rp := rt.rp; rp != nil {
+		// Replayable graphs carry no bodies; only the executed flag —
+		// kept per-variant, off the shared Task — needs maintaining.
+		rp.markExecuted(t)
+		return
+	}
 	if t.executed {
 		panic(fmt.Sprintf("jade: task %d body executed twice", t.ID))
 	}
@@ -225,6 +247,16 @@ func (rt *Runtime) RunBody(t *Task) {
 // notifies the platform of each newly enabled task. Platforms call it
 // at the task's completion time.
 func (rt *Runtime) TaskDone(t *Task) {
+	if rp := rt.rp; rp != nil {
+		if !bitGet(rp.executed, int(t.ID)) {
+			panic(fmt.Sprintf("jade: task %d completed without executing", t.ID))
+		}
+		rt.outstanding.Add(-1)
+		for _, n := range rp.completeAll(t) {
+			rt.platform.TaskEnabled(n)
+		}
+		return
+	}
 	if !t.executed {
 		panic(fmt.Sprintf("jade: task %d completed without executing", t.ID))
 	}

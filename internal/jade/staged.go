@@ -76,12 +76,23 @@ func (rt *Runtime) WithStagedAccesses(accs []Access, segs []Segment, opts ...Tas
 // Platforms call it at each segment boundary's virtual time and
 // schedule the returned tasks.
 func (rt *Runtime) ReleaseEarly(t *Task, o *Object) []*Task {
+	if rp := rt.rp; rp != nil {
+		// The returned slice is scratch, valid until the next
+		// completion — platforms consume it before scheduling on.
+		return rp.completeOn(t, o)
+	}
 	return rt.sync.CompleteEntry(t, o)
 }
 
 // RunSegmentBody executes segment i's body (the first segment marks
 // the task as executed). Platforms call it at each segment's start.
 func (rt *Runtime) RunSegmentBody(t *Task, i int) {
+	if rp := rt.rp; rp != nil {
+		if i == 0 {
+			rp.markExecuted(t)
+		}
+		return
+	}
 	if i == 0 {
 		if t.executed {
 			panic(fmt.Sprintf("jade: staged task %d started twice", t.ID))

@@ -97,6 +97,10 @@ func New(cfg Config) *Machine {
 // Attach implements jade.Platform.
 func (m *Machine) Attach(rt *jade.Runtime) { m.rt = rt }
 
+// Attached reports whether a runtime has ever been bound to the
+// machine; graph replay uses it to refuse reused platforms.
+func (m *Machine) Attached() bool { return m.rt != nil }
+
 // Processors implements jade.Platform.
 func (m *Machine) Processors() int { return m.cfg.Procs }
 

@@ -10,35 +10,119 @@
 // The engine is the hottest path in the repository — every simulated
 // machine cycle passes through it — so the implementation avoids the
 // standard library's container/heap (whose interface{} methods box
-// every event on push and pop) in favor of two value-typed structures:
+// every event on push and pop) in favor of three value-typed
+// structures:
 //
-//   - a 4-ary min-heap of event values ordered by (time, seq). The
-//     wider fan-out halves the tree depth versus a binary heap and the
-//     direct field comparisons need no interface dispatch;
-//   - a same-time FIFO bucket (a circular ring) holding events that
-//     share one timestamp. Cascades — each event scheduling the next
-//     with After(d, ...), the dominant machine-model pattern — land in
-//     the ring and never touch the heap at all.
+//   - a "now" FIFO holding events scheduled at exactly the current
+//     time. Zero-delay scheduling — a completion handler immediately
+//     enqueuing the next dispatch — is a dominant machine-model
+//     pattern, and these events never touch the heap;
+//   - a same-time FIFO bucket holding events that share one (usually
+//     future) timestamp. Cascades — each event scheduling the next
+//     with After(d, ...) — land here;
+//   - a 4-ary min-heap ordered by (time, seq) for everything else,
+//     whose entries are pointer-free keys: the callback payloads live
+//     in a separate slab indexed by slot, so sift swaps move 24-byte
+//     scalar structs and never trigger write barriers. Entries
+//     scheduled at the same timestamp in one burst chain onto a single
+//     heap entry through the slab's next links, making the burst O(1)
+//     per event.
 //
-// Both structures store events by value and recycle their slots in
-// place, so the steady-state schedule/fire cycle performs zero heap
-// allocations: the ring's backing array doubles as the free list for
-// event structs.
+// Events themselves are pointer-free: a callback is a small handler ID
+// into the engine's registry plus one int32 argument, so copying events
+// through the FIFOs, slab, and heap never touches a write barrier and
+// the garbage collector never scans any queue storage. Plain func()
+// callbacks ride a reserved handler whose argument indexes a side
+// table of closures (the only pointer-holding structure, touched only
+// on that cold path).
+//
+// All structures recycle their slots in place, so the steady-state
+// schedule/fire cycle performs zero heap allocations.
 package sim
 
 // Time is virtual time in seconds.
 type Time float64
 
-// event is a scheduled callback. Events are ordered by (at, seq):
-// earlier times first, and FIFO among equal times.
+// Handler identifies a callback registered with RegisterHandler.
+// Events store a Handler plus an int32 argument instead of a func
+// value, keeping every queue structure pointer-free.
+type Handler int32
+
+// hClosure is the reserved handler that runs a plain func() callback;
+// its argument indexes the engine's closure side table.
+const hClosure Handler = 0
+
+// event is a scheduled callback — a registered handler applied to one
+// int32 argument. Events are ordered by (at, seq): earlier times
+// first, and FIFO among equal times.
 type event struct {
 	at  Time
 	seq uint64
-	fn  func()
+	hid Handler
+	arg int32
 }
 
-// eventLess orders events by (at, seq).
-func eventLess(a, b event) bool {
+// fifo is a power-of-two circular buffer of events, recycled in place.
+type fifo struct {
+	buf  []event
+	head int
+	n    int
+}
+
+func (f *fifo) push(ev event) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.n)&(len(f.buf)-1)] = ev
+	f.n++
+}
+
+func (f *fifo) pop() event {
+	ev := f.buf[f.head]
+	f.head = (f.head + 1) & (len(f.buf) - 1)
+	f.n--
+	return ev
+}
+
+// grow doubles the buffer, re-linearizing live entries at the front.
+func (f *fifo) grow() {
+	old := f.buf
+	if len(old) == 0 {
+		f.buf = make([]event, 8)
+		f.head = 0
+		return
+	}
+	grown := make([]event, 2*len(old))
+	for i := 0; i < f.n; i++ {
+		grown[i] = old[(f.head+i)&(len(old)-1)]
+	}
+	f.buf = grown
+	f.head = 0
+}
+
+// heapEntry is one pointer-free heap node: the (at, seq) ordering key
+// of a FIFO chain of events sharing the timestamp at, with chainHead
+// indexing the chain's first slot in the slab. Chains hold seq runs
+// that never interleave with another same-time entry's run (a chain
+// only grows while it is the most recent heap push target), so
+// ordering entries by their head seq orders every chained event.
+type heapEntry struct {
+	at        Time
+	seq       uint64
+	chainHead int32
+}
+
+// slot is one slab cell: an event payload plus its seq (needed to
+// re-key the heap entry when the chain head pops) and the chain link.
+type slot struct {
+	seq  uint64
+	hid  Handler
+	arg  int32
+	next int32
+}
+
+// entryLess orders heap entries by (at, seq).
+func entryLess(a, b heapEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -48,25 +132,74 @@ func eventLess(a, b event) bool {
 // Engine is a discrete-event simulator. The zero value is not usable;
 // call New.
 type Engine struct {
-	// heap is a 4-ary min-heap on (at, seq). Children of node i live
-	// at 4i+1..4i+4.
-	heap []event
+	// nowq holds events scheduled at exactly the current time. Its
+	// entries are always at e.now: the globally next event can never be
+	// earlier, so now cannot advance while any remain.
+	nowq fifo
 
-	// ring is the same-time FIFO bucket: a power-of-two circular
-	// buffer whose live entries all share the timestamp bucketAt and
-	// are stored in scheduling (seq) order. The buffer's slots are
-	// recycled in place, acting as the event free list.
-	ring     []event
-	head     int
-	ringLen  int
+	// bucket is the monotone FIFO: events are admitted only with times
+	// at or after bucketAt (the tail's timestamp), so the FIFO is
+	// sorted by (at, seq) by construction.
+	bucket   fifo
 	bucketAt Time
+
+	// entries is a 4-ary min-heap on (at, seq). Children of node i
+	// live at 4i+1..4i+4. Each entry is a chain of one or more events
+	// at the same timestamp; heapN counts the chained events.
+	entries []heapEntry
+	slots   []slot
+	free    []int32
+	heapN   int
+
+	// lastAt/lastTail remember the most recent heap push so a burst of
+	// pushes at one timestamp appends to its chain in O(1). lastTail
+	// is -1 when there is no valid append target.
+	lastAt   Time
+	lastTail int32
+
+	// handlers is the callback registry events index into; index 0 is
+	// the closure adapter. closures and closureFree are the side table
+	// for plain func() events.
+	handlers    []func(int32)
+	closures    []func()
+	closureFree []int32
 
 	now Time
 	seq uint64
 }
 
-// New returns an empty engine with the clock at zero.
-func New() *Engine { return &Engine{} }
+// New returns an empty engine with the clock at zero. Storage starts
+// empty and doubles on demand: short replay runs construct many
+// engines, so paying a handful of amortized growth steps beats
+// pre-sizing every engine for the largest run.
+func New() *Engine {
+	e := &Engine{lastTail: -1}
+	e.handlers = append(e.handlers, e.runClosure)
+	return e
+}
+
+// RegisterHandler adds h to the engine's callback registry and returns
+// its Handler ID for use with AtCall and Processor.SubmitCall. Machines
+// register each hot-path callback once at construction; events then
+// carry only the ID and an int32 argument, staying pointer-free.
+func (e *Engine) RegisterHandler(h func(int32)) Handler {
+	e.handlers = append(e.handlers, h)
+	return Handler(len(e.handlers) - 1)
+}
+
+// Invoke calls registered handler h with arg immediately (outside the
+// event loop). It lets machine code share one code path between direct
+// calls and scheduled deliveries of the same handler.
+func (e *Engine) Invoke(h Handler, arg int32) { e.handlers[h](arg) }
+
+// runClosure is the reserved handler backing At: it pops the closure
+// from the side table (freeing its slot for reuse) and calls it.
+func (e *Engine) runClosure(idx int32) {
+	fn := e.closures[idx]
+	e.closures[idx] = nil
+	e.closureFree = append(e.closureFree, idx)
+	fn()
+}
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -74,116 +207,170 @@ func (e *Engine) Now() Time { return e.now }
 // At schedules fn to run at virtual time t. Scheduling in the past
 // (t < Now) panics: it indicates a bug in a machine model.
 //
-// Fast path: when the bucket is empty the event seeds it, and when t
-// matches the bucket's timestamp the event joins it — either way the
-// heap is untouched. Only an event at a time different from a
-// non-empty bucket's falls through to a heap push.
+// Fast paths: an event at the current time joins the now queue; an
+// event no earlier than the monotone bucket's tail joins (or seeds)
+// the bucket. Only an event that would break the bucket's sorted
+// order falls through to a heap push.
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		panic("sim: event scheduled in the past")
+	var idx int32
+	if n := len(e.closureFree); n > 0 {
+		idx = e.closureFree[n-1]
+		e.closureFree = e.closureFree[:n-1]
+		e.closures[idx] = fn
+	} else {
+		e.closures = append(e.closures, fn)
+		idx = int32(len(e.closures) - 1)
 	}
-	e.seq++
-	ev := event{at: t, seq: e.seq, fn: fn}
-	if e.ringLen == 0 {
-		e.bucketAt = t
-		e.ringPush(ev)
-		return
-	}
-	if t == e.bucketAt {
-		e.ringPush(ev)
-		return
-	}
-	e.heapPush(ev)
+	e.AtCall(t, hClosure, idx)
 }
 
 // After schedules fn to run d seconds after the current time.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
+// AtCall schedules registered handler h applied to arg at virtual time
+// t. It is the pointer-free counterpart of At for callers that would
+// otherwise build a closure per event: the event carries only the
+// handler ID and the argument, so scheduling touches neither the heap
+// allocator nor a write barrier. Ordering is identical to At.
+func (e *Engine) AtCall(t Time, h Handler, arg int32) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	if t == e.now {
+		e.nowq.push(event{at: t, seq: e.seq, hid: h, arg: arg})
+		return
+	}
+	if e.bucket.n == 0 || t >= e.bucketAt {
+		e.bucketAt = t
+		e.bucket.push(event{at: t, seq: e.seq, hid: h, arg: arg})
+		return
+	}
+	e.heapPush(t, h, arg)
+}
+
 // Run processes events until the queue is empty and returns the final
 // virtual time.
 //
-// Correctness of the two-structure pop: the bucket holds events in seq
-// order (it is FIFO and only ever appended to), so its head carries
-// the bucket's minimal (at, seq). Any event in the heap that shares
-// the bucket's timestamp was necessarily scheduled before the bucket
-// formed at that time (later same-time arrivals join the bucket), so
-// comparing the bucket head against the heap root by (at, seq) always
-// selects the globally next event.
+// Correctness of the three-structure pop: each structure holds its
+// events in seq order (the FIFOs by construction, the heap by its
+// (at, seq) invariant with chains holding non-interleaved seq runs),
+// so comparing the three heads by (at, seq) always selects the
+// globally next event. The now queue's entries are at the current
+// time, which no pending event precedes; they lose the comparison
+// only to a same-time event scheduled earlier that already sat in the
+// bucket or heap before now advanced to its timestamp.
 func (e *Engine) Run() Time {
-	for e.ringLen > 0 || len(e.heap) > 0 {
+	for {
+		// Select the source holding the minimal (at, seq) head.
+		// src: 0 = now queue, 1 = bucket, 2 = heap, -1 = drained.
+		src := -1
+		var at Time
+		var seq uint64
+		if e.nowq.n > 0 {
+			nr := &e.nowq.buf[e.nowq.head]
+			at, seq, src = nr.at, nr.seq, 0
+		}
+		if e.bucket.n > 0 {
+			r := &e.bucket.buf[e.bucket.head]
+			if src < 0 || r.at < at || (r.at == at && r.seq < seq) {
+				at, seq, src = r.at, r.seq, 1
+			}
+		}
+		if len(e.entries) > 0 {
+			h := &e.entries[0]
+			if src < 0 || h.at < at || (h.at == at && h.seq < seq) {
+				src = 2
+			}
+		}
 		var ev event
-		if e.ringLen > 0 && (len(e.heap) == 0 || eventLess(e.ring[e.head], e.heap[0])) {
-			ev = e.ringPop()
-		} else {
+		switch src {
+		case 0:
+			ev = e.nowq.pop()
+		case 1:
+			ev = e.bucket.pop()
+		case 2:
 			ev = e.heapPop()
+		default:
+			return e.now
 		}
 		e.now = ev.at
-		ev.fn()
+		e.handlers[ev.hid](ev.arg)
 	}
-	return e.now
 }
 
 // Pending reports the number of events still queued.
-func (e *Engine) Pending() int { return len(e.heap) + e.ringLen }
+func (e *Engine) Pending() int { return e.heapN + e.nowq.n + e.bucket.n }
 
-// ---- same-time FIFO bucket ----
+// ---- slab-backed 4-ary min-heap of same-time chains ----
 
-func (e *Engine) ringPush(ev event) {
-	if e.ringLen == len(e.ring) {
-		e.growRing()
+// allocSlot takes a free slab cell, growing the slab when none is
+// free.
+func (e *Engine) allocSlot() int32 {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		return s
 	}
-	e.ring[(e.head+e.ringLen)&(len(e.ring)-1)] = ev
-	e.ringLen++
+	e.slots = append(e.slots, slot{})
+	return int32(len(e.slots) - 1)
 }
 
-func (e *Engine) ringPop() event {
-	ev := e.ring[e.head]
-	e.ring[e.head] = event{} // drop the fn reference for the GC
-	e.head = (e.head + 1) & (len(e.ring) - 1)
-	e.ringLen--
-	return ev
-}
-
-// growRing doubles the ring, re-linearizing live entries at the front.
-func (e *Engine) growRing() {
-	old := e.ring
-	if len(old) == 0 {
-		e.ring = make([]event, 8)
-		e.head = 0
+// heapPush schedules one event at time t (seq is e.seq, already
+// advanced by the caller). A push at the same timestamp as the
+// previous one appends to that entry's chain in O(1); otherwise a new
+// entry sifts up through the pointer-free key heap.
+func (e *Engine) heapPush(t Time, h Handler, arg int32) {
+	s := e.allocSlot()
+	e.slots[s] = slot{seq: e.seq, hid: h, arg: arg, next: -1}
+	e.heapN++
+	if e.lastTail >= 0 && e.lastAt == t {
+		e.slots[e.lastTail].next = s
+		e.lastTail = s
 		return
 	}
-	grown := make([]event, 2*len(old))
-	for i := 0; i < e.ringLen; i++ {
-		grown[i] = old[(e.head+i)&(len(old)-1)]
-	}
-	e.ring = grown
-	e.head = 0
-}
-
-// ---- value-typed 4-ary min-heap ----
-
-func (e *Engine) heapPush(ev event) {
-	h := append(e.heap, ev)
-	i := len(h) - 1
+	e.lastAt, e.lastTail = t, s
+	ks := append(e.entries, heapEntry{at: t, seq: e.seq, chainHead: s})
+	i := len(ks) - 1
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !eventLess(h[i], h[p]) {
+		if !entryLess(ks[i], ks[p]) {
 			break
 		}
-		h[i], h[p] = h[p], h[i]
+		ks[i], ks[p] = ks[p], ks[i]
 		i = p
 	}
-	e.heap = h
+	e.entries = ks
 }
 
+// heapPop removes and returns the globally next heap event. Popping a
+// chained event is O(1): the root entry re-keys to the chain's next
+// node, which cannot break the heap invariant (any same-time child
+// entry holds a strictly later seq run). Only an emptied chain removes
+// its entry and sifts.
 func (e *Engine) heapPop() event {
-	h := e.heap
-	min := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h[n] = event{} // drop the fn reference for the GC
-	h = h[:n]
-	e.heap = h
+	root := &e.entries[0]
+	s := root.chainHead
+	sl := &e.slots[s]
+	ev := event{at: root.at, seq: sl.seq, hid: sl.hid, arg: sl.arg}
+	next := sl.next
+	e.free = append(e.free, s)
+	e.heapN--
+	if next >= 0 {
+		root.chainHead = next
+		root.seq = e.slots[next].seq
+		return ev
+	}
+	if e.lastTail == s {
+		// The chain being appended to just emptied; its tail slot is
+		// recycled, so it is no longer a valid append target.
+		e.lastTail = -1
+	}
+	ks := e.entries
+	n := len(ks) - 1
+	ks[0] = ks[n]
+	ks = ks[:n]
+	e.entries = ks
 	i := 0
 	for {
 		c := i<<2 + 1
@@ -196,15 +383,15 @@ func (e *Engine) heapPop() event {
 			end = n
 		}
 		for j := c + 1; j < end; j++ {
-			if eventLess(h[j], h[m]) {
+			if entryLess(ks[j], ks[m]) {
 				m = j
 			}
 		}
-		if !eventLess(h[m], h[i]) {
+		if !entryLess(ks[m], ks[i]) {
 			break
 		}
-		h[i], h[m] = h[m], h[i]
+		ks[i], ks[m] = ks[m], ks[i]
 		i = m
 	}
-	return min
+	return ev
 }

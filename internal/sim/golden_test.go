@@ -20,11 +20,26 @@ type scheduler interface {
 	Now() Time
 }
 
+// eventLess is the documented ordering, stated literally: earlier
+// times first, FIFO among equal times.
+func eventLess(a, b refEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
 // refSim is the reference implementation: an unordered slice scanned
 // for the minimum on every step. O(n^2) and allocation-happy, but
 // obviously correct against the documented ordering.
+type refEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
 type refSim struct {
-	events []event
+	events []refEvent
 	now    Time
 	seq    uint64
 }
@@ -36,7 +51,7 @@ func (r *refSim) At(t Time, fn func()) {
 		panic("refSim: event scheduled in the past")
 	}
 	r.seq++
-	r.events = append(r.events, event{at: t, seq: r.seq, fn: fn})
+	r.events = append(r.events, refEvent{at: t, seq: r.seq, fn: fn})
 }
 
 func (r *refSim) Run() Time {

@@ -17,6 +17,13 @@ func NewProcessor(eng *Engine) *Processor {
 	return &Processor{eng: eng}
 }
 
+// MakeProcessor returns a resource value bound to eng, free at time
+// zero. Machines that hold processors by value (one slab instead of
+// one allocation per resource) construct them with this.
+func MakeProcessor(eng *Engine) Processor {
+	return Processor{eng: eng}
+}
+
 // FreeAt returns the earliest time the resource can start new work.
 func (p *Processor) FreeAt() Time { return p.freeAt }
 
@@ -40,6 +47,26 @@ func (p *Processor) Submit(earliest Time, d Time, done func(start, end Time)) Ti
 	if done != nil {
 		p.eng.At(end, func() { done(start, end) })
 	}
+	return end
+}
+
+// SubmitCall occupies the resource exactly like Submit and schedules
+// registered handler h applied to arg at the completion time. It is
+// the pointer-free counterpart of Submit for callers that do not need
+// the span's start time in the callback (those that do — e.g.
+// observability spans — keep Submit).
+func (p *Processor) SubmitCall(earliest Time, d Time, h Handler, arg int32) Time {
+	start := p.freeAt
+	if earliest > start {
+		start = earliest
+	}
+	if start < p.eng.Now() {
+		start = p.eng.Now()
+	}
+	end := start + d
+	p.freeAt = end
+	p.busy += d
+	p.eng.AtCall(end, h, arg)
 	return end
 }
 

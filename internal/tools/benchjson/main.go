@@ -10,9 +10,11 @@
 //	              -baseline BENCH_baseline.json -tolerance 0.20
 //
 // With -baseline, every benchmark present in both documents is
-// compared by ns/op; any new value more than tolerance above the
-// baseline is a regression and the exit status is 1 (after the output
-// file is still written, so the failing numbers are inspectable).
+// compared by ns/op and by allocs/op; any new value more than
+// tolerance above the baseline is a regression and the exit status is
+// 1 (after the output file is still written, so the failing numbers
+// are inspectable). A per-benchmark delta table is always printed to
+// stderr so improvements are as visible as regressions.
 // See EXPERIMENTS.md for the jade-bench/v1 schema.
 package main
 
@@ -58,7 +60,7 @@ func main() {
 		commit    = flag.String("commit", "", "commit hash recorded in the document")
 		out       = flag.String("o", "", "output file (default stdout)")
 		baseline  = flag.String("baseline", "", "baseline jade-bench/v1 file to compare against")
-		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression vs the baseline")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op and allocs/op regression vs the baseline")
 	)
 	flag.Parse()
 
@@ -87,10 +89,16 @@ func main() {
 	}
 
 	if *baseline != "" {
-		regressions, missing, added, err := compare(*baseline, rep, *tolerance)
+		regressions, missing, added, deltas, err := compare(*baseline, rep, *tolerance)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)
+		}
+		if len(deltas) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: deltas vs %s:\n", *baseline)
+			for _, d := range deltas {
+				fmt.Fprintf(os.Stderr, "  %s\n", d)
+			}
 		}
 		if len(added) > 0 {
 			// The mirror image of missing: a benchmark with no baseline
@@ -186,27 +194,32 @@ func parse(r interface{ Read([]byte) (int, error) }) (*Report, error) {
 }
 
 // compare returns a description of every benchmark in the baseline
-// whose current ns/op exceeds baseline*(1+tolerance), plus the keys of
-// baseline benchmarks the current run never produced and of current
-// benchmarks the baseline has never seen. New benchmarks (current
-// only) are not regressions but are reported as added, and missing
-// ones as missing, so neither a renamed, deleted, nor brand-new
-// benchmark can silently sit outside the gate.
-func compare(baselinePath string, cur *Report, tolerance float64) (regressions, missing, added []string, err error) {
+// whose current ns/op or allocs/op exceeds baseline*(1+tolerance),
+// plus the keys of baseline benchmarks the current run never produced
+// and of current benchmarks the baseline has never seen, plus a
+// key-sorted delta table covering every benchmark present in both
+// documents. New benchmarks (current only) are not regressions but are
+// reported as added, and missing ones as missing, so neither a
+// renamed, deleted, nor brand-new benchmark can silently sit outside
+// the gate. An allocs/op gate only applies when the baseline recorded
+// a nonzero count: a zero-alloc baseline would turn any single
+// allocation into an infinite regression, and benchmarks recorded
+// without -benchmem report zero without meaning it.
+func compare(baselinePath string, cur *Report, tolerance float64) (regressions, missing, added, deltas []string, err error) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	var base Report
 	if err := json.Unmarshal(data, &base); err != nil {
-		return nil, nil, nil, fmt.Errorf("%s: %v", baselinePath, err)
+		return nil, nil, nil, nil, fmt.Errorf("%s: %v", baselinePath, err)
 	}
 	if base.Schema != Schema {
-		return nil, nil, nil, fmt.Errorf("%s: schema %q, want %q", baselinePath, base.Schema, Schema)
+		return nil, nil, nil, nil, fmt.Errorf("%s: schema %q, want %q", baselinePath, base.Schema, Schema)
 	}
-	baseNs := make(map[string]float64, len(base.Benchmarks))
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
-		baseNs[key(b)] = b.NsPerOp
+		baseBy[key(b)] = b
 	}
 	curKeys := make(map[string]bool, len(cur.Benchmarks))
 	for _, b := range cur.Benchmarks {
@@ -219,23 +232,38 @@ func compare(baselinePath string, cur *Report, tolerance float64) (regressions, 
 	}
 	sort.Strings(missing)
 	for _, b := range cur.Benchmarks {
-		if _, ok := baseNs[key(b)]; !ok {
+		if _, ok := baseBy[key(b)]; !ok {
 			added = append(added, key(b))
 		}
 	}
 	sort.Strings(added)
 	for _, b := range cur.Benchmarks {
-		old, ok := baseNs[key(b)]
-		if !ok || old <= 0 {
+		old, ok := baseBy[key(b)]
+		if !ok || old.NsPerOp <= 0 {
 			continue
 		}
-		if b.NsPerOp > old*(1+tolerance) {
+		d := fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)",
+			key(b), old.NsPerOp, b.NsPerOp, 100*(b.NsPerOp/old.NsPerOp-1))
+		if old.AllocsPerOp > 0 {
+			d += fmt.Sprintf(", %d -> %d allocs/op (%+.1f%%)",
+				old.AllocsPerOp, b.AllocsPerOp,
+				100*(float64(b.AllocsPerOp)/float64(old.AllocsPerOp)-1))
+		}
+		deltas = append(deltas, d)
+		if b.NsPerOp > old.NsPerOp*(1+tolerance) {
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%)",
-				key(b), b.NsPerOp, old, 100*(b.NsPerOp/old-1)))
+				key(b), b.NsPerOp, old.NsPerOp, 100*(b.NsPerOp/old.NsPerOp-1)))
+		}
+		if old.AllocsPerOp > 0 && float64(b.AllocsPerOp) > float64(old.AllocsPerOp)*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d allocs/op (%+.1f%%)",
+				key(b), b.AllocsPerOp, old.AllocsPerOp,
+				100*(float64(b.AllocsPerOp)/float64(old.AllocsPerOp)-1)))
 		}
 	}
-	return regressions, missing, added, nil
+	sort.Strings(deltas)
+	return regressions, missing, added, deltas, nil
 }
 
 // key identifies a benchmark across documents.

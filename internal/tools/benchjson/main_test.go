@@ -70,7 +70,7 @@ func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
 		{Name: "Table2", Package: "repro", NsPerOp: 1500},                    // +50%: regression
 		{Name: "Added", Package: "repro", NsPerOp: 999999},                   // no baseline: skipped
 	}}
-	regressions, missing, added, err := compare(baseline, cur, 0.20)
+	regressions, missing, added, _, err := compare(baseline, cur, 0.20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
 	if len(added) != 1 || added[0] != "repro.Added" {
 		t.Fatalf("added = %v, want only repro.Added", added)
 	}
-	regressions, _, _, err = compare(baseline, cur, 0.60)
+	regressions, _, _, _, err = compare(baseline, cur, 0.60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestCompareReportsAddedBenchmarks(t *testing.T) {
 		{Name: "NewB", Package: "repro", NsPerOp: 100},
 		{Name: "NewA", Package: "repro/internal/pgas", NsPerOp: 100},
 	}}
-	regressions, missing, added, err := compare(baseline, cur, 0.20)
+	regressions, missing, added, _, err := compare(baseline, cur, 0.20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestCompareReportsAddedBenchmarks(t *testing.T) {
 
 	// A baseline covering every current benchmark reports nothing added.
 	cur.Benchmarks = cur.Benchmarks[:1]
-	_, _, added, err = compare(baseline, cur, 0.20)
+	_, _, added, _, err = compare(baseline, cur, 0.20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestCompareReportsMissingBaselines(t *testing.T) {
 	cur := &Report{Schema: Schema, Benchmarks: []Benchmark{
 		{Name: "Kept", Package: "repro", NsPerOp: 100},
 	}}
-	regressions, missing, _, err := compare(baseline, cur, 0.20)
+	regressions, missing, _, _, err := compare(baseline, cur, 0.20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestCompareReportsMissingBaselines(t *testing.T) {
 	cur.Benchmarks = append(cur.Benchmarks,
 		Benchmark{Name: "GoneB", Package: "repro", NsPerOp: 100},
 		Benchmark{Name: "GoneA", Package: "repro/internal/sim", NsPerOp: 100})
-	_, missing, _, err = compare(baseline, cur, 0.20)
+	_, missing, _, _, err = compare(baseline, cur, 0.20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,10 +165,71 @@ func TestCompareReportsMissingBaselines(t *testing.T) {
 }
 
 func TestCompareRejectsBadBaseline(t *testing.T) {
-	if _, _, _, err := compare(writeBaseline(t, `{"schema":"other/v9"}`), &Report{Schema: Schema}, 0.2); err == nil {
+	if _, _, _, _, err := compare(writeBaseline(t, `{"schema":"other/v9"}`), &Report{Schema: Schema}, 0.2); err == nil {
 		t.Fatal("wrong-schema baseline accepted")
 	}
-	if _, _, _, err := compare(filepath.Join(t.TempDir(), "missing.json"), &Report{Schema: Schema}, 0.2); err == nil {
+	if _, _, _, _, err := compare(filepath.Join(t.TempDir(), "missing.json"), &Report{Schema: Schema}, 0.2); err == nil {
 		t.Fatal("missing baseline accepted")
+	}
+}
+
+func TestCompareGatesAllocsPerOp(t *testing.T) {
+	baseline := writeBaseline(t, `{
+	  "schema": "jade-bench/v1",
+	  "benchmarks": [
+	    {"name": "Sweep", "package": "repro", "iterations": 1, "ns_per_op": 100, "allocs_per_op": 1000},
+	    {"name": "ZeroBase", "package": "repro", "iterations": 1, "ns_per_op": 100}
+	  ]
+	}`)
+	cur := &Report{Schema: Schema, Benchmarks: []Benchmark{
+		{Name: "Sweep", Package: "repro", NsPerOp: 100, AllocsPerOp: 1500},   // +50% allocs: regression
+		{Name: "ZeroBase", Package: "repro", NsPerOp: 100, AllocsPerOp: 999}, // zero-alloc baseline: ungated
+	}}
+	regressions, _, _, _, err := compare(baseline, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "allocs/op") ||
+		!strings.Contains(regressions[0], "repro.Sweep") {
+		t.Fatalf("regressions = %v, want one allocs/op regression for repro.Sweep", regressions)
+	}
+	cur.Benchmarks[0].AllocsPerOp = 1100 // +10%: inside tolerance
+	regressions, _, _, _, err = compare(baseline, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none inside tolerance", regressions)
+	}
+}
+
+func TestCompareEmitsSortedDeltaTable(t *testing.T) {
+	baseline := writeBaseline(t, `{
+	  "schema": "jade-bench/v1",
+	  "benchmarks": [
+	    {"name": "B", "package": "repro", "iterations": 1, "ns_per_op": 200, "allocs_per_op": 10},
+	    {"name": "A", "package": "repro", "iterations": 1, "ns_per_op": 100}
+	  ]
+	}`)
+	cur := &Report{Schema: Schema, Benchmarks: []Benchmark{
+		{Name: "B", Package: "repro", NsPerOp: 100, AllocsPerOp: 5},
+		{Name: "A", Package: "repro", NsPerOp: 110},
+		{Name: "New", Package: "repro", NsPerOp: 1}, // not in baseline: no delta row
+	}}
+	_, _, _, deltas, err := compare(baseline, cur, 0.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %v, want 2 rows", deltas)
+	}
+	if !strings.HasPrefix(deltas[0], "repro.A:") || !strings.HasPrefix(deltas[1], "repro.B:") {
+		t.Fatalf("deltas not key-sorted: %v", deltas)
+	}
+	if !strings.Contains(deltas[0], "+10.0%") || strings.Contains(deltas[0], "allocs/op") {
+		t.Fatalf("A row = %q, want ns delta and no allocs column (zero-alloc baseline)", deltas[0])
+	}
+	if !strings.Contains(deltas[1], "-50.0%") || !strings.Contains(deltas[1], "10 -> 5 allocs/op") {
+		t.Fatalf("B row = %q, want -50%% ns and 10 -> 5 allocs", deltas[1])
 	}
 }
