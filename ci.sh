@@ -79,8 +79,10 @@ echo "== go test -race (concurrent packages) =="
 # The batched-replay byte-identity tests (graph.TestVariantSet* and
 # experiments.TestExecuteRunsByteIdentical*) live in jade/graph and
 # experiments, so the VariantSet lockstep pass is exercised under
-# -race here as well.
-go test -race ./internal/native ./internal/jade ./internal/jade/graph ./internal/serve ./internal/experiments ./internal/fault ./internal/pgas ./internal/apps/spmv
+# -race here as well. The routing tier (hedged attempts racing each
+# other, health transitions under concurrent requests) and the load
+# generator's worker pool join the set.
+go test -race ./internal/native ./internal/jade ./internal/jade/graph ./internal/serve ./internal/experiments ./internal/fault ./internal/pgas ./internal/apps/spmv ./internal/router ./internal/load
 
 echo "== jadebench -json smoke =="
 # The emitted document must parse and carry the jadebench/v1 keys;
@@ -117,9 +119,12 @@ echo "== jaded smoke =="
 # job twice, and check the second response is served from the cache.
 tmp=$(mktemp -d)
 jaded_pid=""
+router_pid=""
 cleanup() {
     [ -n "$jaded_pid" ] && kill "$jaded_pid" 2>/dev/null || true
     [ -n "$jaded_pid" ] && wait "$jaded_pid" 2>/dev/null || true
+    [ -n "$router_pid" ] && kill "$router_pid" 2>/dev/null || true
+    [ -n "$router_pid" ] && wait "$router_pid" 2>/dev/null || true
     rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -211,5 +216,82 @@ curl -fsS "http://$addr/healthz" | "$tmp/jsoncheck" status uptime_sec
 curl -fsS -X POST -d "$spec" "http://$addr/v1/jobs?sync=1" >"$tmp/postchaos.json"
 grep -q '"status": "done"' "$tmp/postchaos.json" ||
     { echo "jaded: server unhealthy after injected panic" >&2; cat "$tmp/postchaos.json" >&2; exit 1; }
+
+echo "== jaderouter smoke =="
+# The routing tier in front of three embedded jaded backends: a routed
+# submission must name its serving backend, echo the caller's trace ID,
+# and the router must export the jaderouter_* metric families.
+go build -o "$tmp/jaderouter" ./cmd/jaderouter
+"$tmp/jaderouter" -addr 127.0.0.1:0 -embed 3 -workers 1 \
+    >"$tmp/router.log" 2>"$tmp/router.stderr" &
+router_pid=$!
+
+raddr=""
+i=0
+while [ $i -lt 50 ]; do
+    raddr=$(sed -n 's#^jaderouter: listening on http://\([^ ]*\).*#\1#p' "$tmp/router.log")
+    [ -n "$raddr" ] && break
+    kill -0 "$router_pid" 2>/dev/null || { cat "$tmp/router.log" "$tmp/router.stderr" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$raddr" ] || { echo "jaderouter: never reported an address" >&2; exit 1; }
+
+curl -fsS "http://$raddr/healthz" | "$tmp/jsoncheck" schema status backends
+curl -fsS "http://$raddr/v1/experiments" | "$tmp/jsoncheck" schema count experiments.0.id
+curl -fsS -D "$tmp/routed.hdr" -X POST -d "$spec" \
+    "http://$raddr/v1/jobs?sync=1" >"$tmp/routed.json"
+"$tmp/jsoncheck" schema status spec_hash result.schema <"$tmp/routed.json"
+grep -qi '^X-Jade-Backend: jaded-' "$tmp/routed.hdr" ||
+    { echo "jaderouter: response does not name its backend" >&2; cat "$tmp/routed.hdr" >&2; exit 1; }
+grep -qi '^X-Jade-Trace: ' "$tmp/routed.hdr" ||
+    { echo "jaderouter: response carried no trace ID" >&2; cat "$tmp/routed.hdr" >&2; exit 1; }
+curl -fsS "http://$raddr/metricz" |
+    "$tmp/jsoncheck" schema counters.routed counters.failovers backends
+curl -fsS "http://$raddr/metricz?format=prom" |
+    "$tmp/promcheck" jaderouter_routed_total jaderouter_failovers_total \
+        jaderouter_ejections_total jaderouter_stale_served_total \
+        jaderouter_backend_state jaderouter_uptime_seconds
+kill "$router_pid" 2>/dev/null || true
+wait "$router_pid" 2>/dev/null || true
+router_pid=""
+
+echo "== jadeload chaos smoke =="
+# The availability claim, pinned: replay a seeded Zipf workload against
+# a 1-node baseline and a 3-node routed cluster, hanging the hottest
+# key's primary mid-run in the cluster. Hedges must win against the
+# hung node, at least one request must fail over to a replica, and no
+# request may fail — cached keys keep answering (stale at worst) with
+# zero non-stale errors. The schedule is a pure function of the seed,
+# so these counters are assertions, not observations.
+go build -o "$tmp/jadeload" ./cmd/jadeload
+"$tmp/jadeload" -backends 3 -requests 120 -concurrency 8 \
+    -experiments "table1,table2,table3,table5" -kill hang@40 -seed 42 \
+    -probe-interval 50ms >"$tmp/load.json"
+"$tmp/jsoncheck" schema workload.seed workload.kills.0.mode \
+    topologies.0.backends topologies.0.counts.total topologies.0.latency.p95_sec \
+    topologies.1.killed.0 topologies.1.router.hedge_wins topologies.1.health \
+    <"$tmp/load.json"
+if grep -q '"failed": [1-9]' "$tmp/load.json"; then
+    echo "jadeload: requests failed under the hang" >&2; cat "$tmp/load.json" >&2; exit 1
+fi
+grep -q '"hedge_wins": [1-9]' "$tmp/load.json" ||
+    { echo "jadeload: no hedge wins against the hung primary" >&2; cat "$tmp/load.json" >&2; exit 1; }
+grep -q '"failovers": [1-9]' "$tmp/load.json" ||
+    { echo "jadeload: no failovers recorded under the hang" >&2; cat "$tmp/load.json" >&2; exit 1; }
+
+# Same workload with a hard-down kill and fast probes: the dead node
+# must be ejected by the health checker, and still nothing may fail.
+"$tmp/jadeload" -backends 3 -requests 120 -concurrency 8 \
+    -experiments "table1,table2,table3,table5" -kill down@60 -seed 42 \
+    -probe-interval 25ms -probe-timeout 20ms -single-only >"$tmp/down.json"
+"$tmp/jsoncheck" schema topologies.0.router.ejections <"$tmp/down.json"
+if grep -q '"failed": [1-9]' "$tmp/down.json"; then
+    echo "jadeload: requests failed under the down kill" >&2; cat "$tmp/down.json" >&2; exit 1
+fi
+grep -q '"ejections": [1-9]' "$tmp/down.json" ||
+    { echo "jadeload: dead backend was never ejected" >&2; cat "$tmp/down.json" >&2; exit 1; }
+grep -q '"failovers": [1-9]' "$tmp/down.json" ||
+    { echo "jadeload: no failovers recorded after the ejection" >&2; cat "$tmp/down.json" >&2; exit 1; }
 
 echo "CI OK"

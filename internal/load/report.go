@@ -1,0 +1,72 @@
+package load
+
+import "repro/internal/router"
+
+// Schema tags jadeload reports. Additions keep the version; renames
+// or removals bump it.
+const Schema = "jade-load/v1"
+
+// Workload echoes the generator parameters that produced a report, so
+// a report is self-describing and reproducible (same seed, same mix).
+type Workload struct {
+	Requests     int         `json:"requests"`
+	Concurrency  int         `json:"concurrency"`
+	SyncFraction float64     `json:"sync_fraction"`
+	ZipfS        float64     `json:"zipf_s"`
+	Seed         int64       `json:"seed"`
+	SpecPool     int         `json:"spec_pool"`
+	BurstSize    int         `json:"burst_size,omitempty"`
+	Kills        []KillEvent `json:"kills,omitempty"`
+}
+
+// Percentiles summarizes a latency population in seconds.
+type Percentiles struct {
+	Count   int     `json:"count"`
+	MeanSec float64 `json:"mean_sec"`
+	P50Sec  float64 `json:"p50_sec"`
+	P95Sec  float64 `json:"p95_sec"`
+	P99Sec  float64 `json:"p99_sec"`
+	P999Sec float64 `json:"p999_sec"`
+	MaxSec  float64 `json:"max_sec"`
+}
+
+// Counts classifies request outcomes. OK and Stale are both
+// successes from the client's point of view; Stale means the router's
+// degraded mode answered from its cache because no replica was live.
+type Counts struct {
+	Total  int `json:"total"`
+	OK     int `json:"ok"`
+	Stale  int `json:"stale"`
+	Failed int `json:"failed"`
+	// Hedged counts requests that launched a hedge attempt (subset of
+	// the above, not a separate outcome).
+	Hedged int `json:"hedged"`
+}
+
+// TopologyReport is one topology's measurement.
+type TopologyReport struct {
+	Backends   int     `json:"backends"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	Throughput float64 `json:"throughput_rps"`
+	// Latency summarizes successful sync request latency end to end
+	// through the router (async submissions poll, so their latency
+	// measures the poll loop, not the route).
+	Latency      Percentiles `json:"latency"`
+	Counts       Counts      `json:"counts"`
+	CacheHitRate float64     `json:"cache_hit_rate"`
+	// Killed lists applied kill events as backend:mode@request.
+	Killed []string `json:"killed,omitempty"`
+	// Router is the router's counter snapshot after the run — the
+	// same numbers its /metricz exports.
+	Router router.Counters `json:"router"`
+	// Health is each backend's final health state.
+	Health map[string]string `json:"health"`
+}
+
+// Report is the jade-load/v1 document: one workload, measured against
+// one or more topology sizes.
+type Report struct {
+	Schema     string           `json:"schema"`
+	Workload   Workload         `json:"workload"`
+	Topologies []TopologyReport `json:"topologies"`
+}

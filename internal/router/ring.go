@@ -1,0 +1,135 @@
+// Package router is the front tier that turns a set of jaded
+// backends into one service: it consistent-hashes canonical job-spec
+// keys across the backends (so each backend's result and graph caches
+// stay hot for its shard — the serving-layer form of the paper's
+// "place work where its data is" argument), health-checks every
+// backend through a healthy → degraded → ejected → probing state
+// machine, hedges slow sync requests against the next replica on the
+// ring, fails over with key remapping when a backend is ejected, and
+// degrades to serving stale cached results (marked X-Jade-Stale)
+// when every replica for a key is down.
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is an immutable consistent-hash ring: each backend owns vnodes
+// pseudo-random points on a 64-bit circle, and a key belongs to the
+// first point clockwise of its own hash. Assignment depends only on
+// the backend names and the vnode count — never on registration
+// order, process identity, or time — so every router instance (and
+// every restart of one) maps the same key population to the same
+// backends, which is what keeps per-shard caches hot across restarts.
+//
+// Membership changes build a new Ring; removing one of N backends
+// only reassigns the keys that backend owned (~1/N of them), because
+// every other key's first clockwise point is untouched.
+type Ring struct {
+	vnodes int
+	names  []string // sorted, deduplicated
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	owner int32 // index into names
+}
+
+// DefaultVNodes balances placement smoothness against ring size: 64
+// points per backend keeps the max/min shard-size ratio near 1.3 for
+// small clusters while the ring stays a few KB.
+const DefaultVNodes = 64
+
+// NewRing builds a ring over the given backend names. vnodes <= 0
+// selects DefaultVNodes. Duplicate names collapse; name order is
+// irrelevant by construction.
+func NewRing(vnodes int, names ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	uniq := sorted[:0]
+	for i, n := range sorted {
+		if i == 0 || n != sorted[i-1] {
+			uniq = append(uniq, n)
+		}
+	}
+	r := &Ring{
+		vnodes: vnodes,
+		names:  append([]string(nil), uniq...),
+		points: make([]ringPoint, 0, len(uniq)*vnodes),
+	}
+	for owner, name := range r.names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hashKey(name + "#" + strconv.Itoa(v)),
+				owner: int32(owner),
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on owner so even a (vanishingly unlikely) hash
+		// collision orders deterministically.
+		return r.points[i].owner < r.points[j].owner
+	})
+	return r
+}
+
+// hashKey is FNV-1a 64 finished with a splitmix64 mix. FNV alone
+// correlates badly on the short, similar vnode labels ("a#0", "a#1",
+// …), which skews shard sizes; the finalizer decorrelates them for a
+// couple of multiplies.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Backends returns the ring members, sorted.
+func (r *Ring) Backends() []string {
+	return append([]string(nil), r.names...)
+}
+
+// Primary returns the backend owning key ("" on an empty ring).
+func (r *Ring) Primary(key string) string {
+	seq := r.Sequence(key)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}
+
+// Sequence returns every backend in the order the ring visits them
+// starting at key's point: the first element is the key's primary,
+// the rest are its failover/hedge replicas. The order is a pure
+// function of (names, vnodes, key).
+func (r *Ring) Sequence(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make([]bool, len(r.names))
+	out := make([]string, 0, len(r.names))
+	for i := 0; i < len(r.points) && len(out) < len(r.names); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.owner] {
+			seen[p.owner] = true
+			out = append(out, r.names[p.owner])
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// High-entropy-ish keys standing in for canonical spec hashes.
+		keys[i] = fmt.Sprintf("spec-hash-%d-%x", i, i*2654435761)
+	}
+	return keys
+}
+
+// TestRingDeterministicAcrossRestarts: the key→backend map is a pure
+// function of (names, vnodes) — registration order and process
+// identity are irrelevant — so a restarted router (or a second router
+// instance) shards identically and per-backend caches stay hot.
+func TestRingDeterministicAcrossRestarts(t *testing.T) {
+	a := NewRing(0, "node-a", "node-b", "node-c", "node-d")
+	b := NewRing(0, "node-d", "node-b", "node-a", "node-c") // a "restart" registering in another order
+	for _, key := range sampleKeys(500) {
+		sa, sb := a.Sequence(key), b.Sequence(key)
+		if len(sa) != len(sb) {
+			t.Fatalf("sequence lengths differ for %q: %v vs %v", key, sa, sb)
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("sequence diverges for %q at rank %d: %v vs %v", key, i, sa, sb)
+			}
+		}
+	}
+}
+
+// TestRingBoundedDisruption: removing one of N backends remaps exactly
+// the keys it owned (~1/N of them) and not one key more — the
+// bounded-disruption property that makes ejection cheap for every
+// backend that stayed up.
+func TestRingBoundedDisruption(t *testing.T) {
+	names := []string{"node-a", "node-b", "node-c", "node-d", "node-e"}
+	full := NewRing(0, names...)
+	without := NewRing(0, names[1:]...) // eject node-a
+	keys := sampleKeys(2000)
+
+	moved := 0
+	for _, key := range keys {
+		before, after := full.Primary(key), without.Primary(key)
+		if before == "node-a" {
+			moved++
+			if after == "node-a" {
+				t.Fatalf("key %q still maps to the removed backend", key)
+			}
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %s→%s though its owner was not removed", key, before, after)
+		}
+	}
+	// The removed backend owned ~1/5 of the keyspace; allow generous
+	// placement variance but catch both a broken hash (everything
+	// moves) and a degenerate ring (nothing did).
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.05 || frac > 0.45 {
+		t.Fatalf("ejecting 1 of 5 backends moved %.1f%% of keys, want roughly 20%%", 100*frac)
+	}
+}
+
+// TestRingSequenceProperties: a key's sequence starts at its primary,
+// visits every backend exactly once, and an empty ring yields nothing.
+func TestRingSequenceProperties(t *testing.T) {
+	r := NewRing(16, "x", "y", "z", "y") // duplicate collapses
+	if got := r.Backends(); len(got) != 3 {
+		t.Fatalf("Backends() = %v, want 3 distinct", got)
+	}
+	for _, key := range sampleKeys(200) {
+		seq := r.Sequence(key)
+		if len(seq) != 3 {
+			t.Fatalf("Sequence(%q) = %v, want all 3 backends", key, seq)
+		}
+		if seq[0] != r.Primary(key) {
+			t.Fatalf("Sequence(%q)[0] = %s, Primary = %s", key, seq[0], r.Primary(key))
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("Sequence(%q) repeats %s: %v", key, n, seq)
+			}
+			seen[n] = true
+		}
+	}
+	empty := NewRing(0)
+	if p := empty.Primary("k"); p != "" {
+		t.Fatalf("empty ring Primary = %q, want empty", p)
+	}
+	if s := empty.Sequence("k"); s != nil {
+		t.Fatalf("empty ring Sequence = %v, want nil", s)
+	}
+}
+
+// TestRingBalance: with DefaultVNodes, no backend's shard is wildly
+// outsized — a sanity bound on placement smoothness, not a tight one.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0, "a", "b", "c", "d")
+	counts := map[string]int{}
+	keys := sampleKeys(4000)
+	for _, key := range keys {
+		counts[r.Primary(key)]++
+	}
+	for name, n := range counts {
+		frac := float64(n) / float64(len(keys))
+		if frac < 0.08 || frac > 0.50 {
+			t.Fatalf("backend %s owns %.1f%% of keys (counts %v); placement badly skewed", name, 100*frac, counts)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package router
+
+import (
+	"sort"
+	"sync"
+)
+
+// rollingWindow is a fixed-size ring of the most recent request
+// latencies for one backend; the router reads its p95 to decide when
+// a sync request is slow enough to hedge. A small window (128 samples)
+// tracks regime changes quickly — a backend that just started hanging
+// pushes its p95 up within a few requests — while smoothing over
+// single outliers.
+type rollingWindow struct {
+	mu      sync.Mutex
+	samples []float64 // ring buffer, seconds
+	next    int
+	filled  bool
+}
+
+const windowSize = 128
+
+func newRollingWindow() *rollingWindow {
+	return &rollingWindow{samples: make([]float64, windowSize)}
+}
+
+// Record folds one latency sample (seconds) into the window.
+func (w *rollingWindow) Record(sec float64) {
+	w.mu.Lock()
+	w.samples[w.next] = sec
+	w.next++
+	if w.next == len(w.samples) {
+		w.next = 0
+		w.filled = true
+	}
+	w.mu.Unlock()
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of the window, or
+// (0, false) when no samples have been recorded.
+func (w *rollingWindow) Quantile(q float64) (float64, bool) {
+	w.mu.Lock()
+	n := w.next
+	if w.filled {
+		n = len(w.samples)
+	}
+	if n == 0 {
+		w.mu.Unlock()
+		return 0, false
+	}
+	buf := append([]float64(nil), w.samples[:n]...)
+	w.mu.Unlock()
+	sort.Float64s(buf)
+	idx := int(q * float64(len(buf)))
+	if idx >= len(buf) {
+		idx = len(buf) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return buf[idx], true
+}
+
+// Count returns the number of samples currently in the window.
+func (w *rollingWindow) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.filled {
+		return len(w.samples)
+	}
+	return w.next
+}

@@ -30,9 +30,15 @@ type BreakerStatus struct {
 // an experiment ID (or the "_runs" aggregate for explicit run specs).
 // After threshold consecutive failures the circuit opens: submissions
 // naming that key are refused with 503 until the cooldown elapses.
-// The first submission after the cooldown finds the circuit half-open
-// and is let through as a probe; its success closes the circuit, its
-// failure re-opens it for another full cooldown.
+// The first submission after the cooldown moves the circuit to
+// half-open and is let through as the probe; while that probe is in
+// flight every other submission naming the key keeps getting refused,
+// so exactly one request tests a recovering dependency. The probe's
+// success closes the circuit, its failure re-opens it for another
+// full cooldown, and a probe that never executes (queue full,
+// shutdown, served from cache, deadline spent queueing) is cancelled
+// back to open so the next submission re-probes instead of
+// deadlocking the circuit.
 type breaker struct {
 	threshold int
 	cooldown  time.Duration
@@ -85,7 +91,10 @@ func (b *breaker) enabled() bool { return b.threshold > 0 }
 // allow reports whether a job naming the given keys may execute. When
 // a circuit is open it returns ok=false with the offending key and how
 // long the caller should wait; an elapsed cooldown moves the circuit
-// to half-open and lets the job through as a probe.
+// to half-open and lets exactly this job through as the probe. A
+// half-open circuit (probe already in flight) refuses everyone else
+// until the probe resolves, so concurrent submissions race for one
+// probe slot instead of stampeding a recovering dependency.
 func (b *breaker) allow(keys []string) (wait time.Duration, key string, ok bool) {
 	if !b.enabled() {
 		return 0, "", true
@@ -93,23 +102,62 @@ func (b *breaker) allow(keys []string) (wait time.Duration, key string, ok bool)
 	var ts []transition
 	b.mu.Lock()
 	now := b.now()
+	// First pass: refuse if any named circuit is still cooling down or
+	// already has a probe in flight. No state moves until every key is
+	// known admissible, so a refusal never strands a sibling key in
+	// half-open with no probe to resolve it.
 	for _, k := range keys {
 		e := b.entries[k]
-		if e == nil || e.state != BreakerOpen {
+		if e == nil {
 			continue
 		}
-		remaining := e.openedAt.Add(b.cooldown).Sub(now)
-		if remaining > 0 {
+		switch e.state {
+		case BreakerOpen:
+			if remaining := e.openedAt.Add(b.cooldown).Sub(now); remaining > 0 {
+				b.mu.Unlock()
+				return remaining, k, false
+			}
+		case BreakerHalfOpen:
+			// A probe owns the half-open slot; tell the caller to come
+			// back after roughly one execution's worth of patience.
 			b.mu.Unlock()
-			b.notify(ts)
-			return remaining, k, false
+			return b.cooldown / 4, k, false
 		}
-		e.state = BreakerHalfOpen
-		ts = append(ts, transition{k, BreakerOpen, BreakerHalfOpen})
+	}
+	// Second pass: this caller is the probe for every circuit whose
+	// cooldown has elapsed.
+	for _, k := range keys {
+		if e := b.entries[k]; e != nil && e.state == BreakerOpen {
+			e.state = BreakerHalfOpen
+			ts = append(ts, transition{k, BreakerOpen, BreakerHalfOpen})
+		}
 	}
 	b.mu.Unlock()
 	b.notify(ts)
 	return 0, "", true
+}
+
+// cancelProbe returns half-open circuits to open without recording an
+// outcome. It is called when an admitted probe never actually
+// executes — refused by the queue, raced by shutdown, served from the
+// result cache, or expired while queued — so the circuit does not
+// deadlock waiting for a success/failure that will never arrive. The
+// original openedAt is kept: the cooldown has already elapsed, so the
+// next submission immediately re-probes.
+func (b *breaker) cancelProbe(keys []string) {
+	if !b.enabled() {
+		return
+	}
+	var ts []transition
+	b.mu.Lock()
+	for _, k := range keys {
+		if e := b.entries[k]; e != nil && e.state == BreakerHalfOpen {
+			e.state = BreakerOpen
+			ts = append(ts, transition{k, BreakerHalfOpen, BreakerOpen})
+		}
+	}
+	b.mu.Unlock()
+	b.notify(ts)
 }
 
 // success records one successful execution under each key, closing any

@@ -38,6 +38,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"log/slog"
 	"net/http"
 	"runtime/debug"
@@ -341,14 +343,18 @@ func (s *Server) worker() {
 // one simulation.
 func (s *Server) execute(j *Job) {
 	j.spanQueue.End()
-	// An identical job may have finished while this one queued.
+	// An identical job may have finished while this one queued. A job
+	// finished here never executed, so if it held the breaker's
+	// half-open probe slot the probe is cancelled rather than resolved.
 	if data, ok := s.cache.Peek(j.Hash); ok {
+		s.breaker.cancelProbe(breakerKeys(j.Spec))
 		s.finish(j, data, true, nil)
 		return
 	}
 	// The job deadline started at submission; a job that spent it all
 	// waiting in the queue fails without burning a worker on it.
 	if j.ctx.Err() != nil {
+		s.breaker.cancelProbe(breakerKeys(j.Spec))
 		s.finish(j, nil, false, fmt.Errorf(
 			"%w: the %s job deadline expired while the job was queued", errTimeout, s.cfg.JobTimeout))
 		return
@@ -537,14 +543,70 @@ func (s *Server) observe(j *Job, sec float64) {
 // ---- admission ----
 
 // admitError is a refused submission, carrying enough for the HTTP
-// handler to answer (status, message, optional Retry-After).
+// handler to answer (status, message, optional Retry-After, and
+// whether the connection should be dropped after the response).
 type admitError struct {
 	status     int
 	msg        string
 	retryAfter time.Duration
+	// closeConn asks the handler to emit Connection: close: the server
+	// is draining (or shedding), so the client should re-dial a
+	// healthier backend instead of reusing this connection.
+	closeConn bool
 }
 
 func (e *admitError) Error() string { return e.msg }
+
+// AdmitStatus reports the HTTP status a refused submission carried:
+// errors returned by Submit/RunSync that stem from admission (queue
+// backpressure, open circuit, shutdown) map to their 429/503; any
+// other error returns 0. Embedding callers (the router's in-process
+// backend) use it to tell backend refusals from spec errors.
+func AdmitStatus(err error) int {
+	var ae *admitError
+	if errors.As(err, &ae) {
+		return ae.status
+	}
+	return 0
+}
+
+// jitterRetryAfter spreads a Retry-After hint deterministically over
+// [base, base+spread) keyed by the canonical spec hash. Every client
+// retrying the same spec gets the same hint (the hint is reproducible,
+// like everything else in the service), but different specs land on
+// different seconds — so a router bouncing a whole shard's keys off a
+// draining or saturated backend doesn't synchronize its retry storm
+// onto one instant.
+func jitterRetryAfter(base, spread time.Duration, key string) time.Duration {
+	if spread <= 0 {
+		return base
+	}
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, key)
+	return base + time.Duration(h.Sum64()%uint64(spread))
+}
+
+// retryBase/retrySpread bound the jittered Retry-After hints on 429
+// and 503 refusals: hints land on whole seconds in [1s, 5s).
+const (
+	retryBase   = time.Second
+	retrySpread = 4 * time.Second
+)
+
+// refuseDraining builds the refusal for a submission that raced
+// graceful shutdown: 503 with a jittered Retry-After (the process
+// replacing this one will be up shortly; spread the comebacks) and
+// Connection: close so a pooling client — the router, above all —
+// re-dials another backend instead of queueing more requests onto a
+// dying connection.
+func (s *Server) refuseDraining(hash string) *admitError {
+	return &admitError{
+		status:     http.StatusServiceUnavailable,
+		msg:        "server is shutting down",
+		retryAfter: jitterRetryAfter(retryBase, retrySpread, hash),
+		closeConn:  true,
+	}
+}
 
 // admit routes a canonical spec into the server: born done from the
 // result cache, refused (breaker open, queue full, shutting down), or
@@ -564,7 +626,7 @@ func (s *Server) admit(spec *JobSpec, ro *reqObs) (*Job, *admitError) {
 		s.mu.Lock()
 		if s.shutdown {
 			s.mu.Unlock()
-			return nil, &admitError{status: http.StatusServiceUnavailable, msg: "server is shutting down"}
+			return nil, s.refuseDraining(hash)
 		}
 		j := s.registerJobLocked(spec, hash)
 		s.accepted++
@@ -585,10 +647,13 @@ func (s *Server) admit(spec *JobSpec, ro *reqObs) (*Job, *admitError) {
 		if s.logger != nil {
 			s.logger.Warn("job rejected", "reason", "breaker_open", "experiment", key)
 		}
+		// The cooldown remainder gets per-spec jitter on top so every
+		// key gated by one circuit doesn't retry in the same second.
 		return nil, &admitError{
 			status:     http.StatusServiceUnavailable,
 			msg:        fmt.Sprintf("circuit breaker for experiment %q is open after repeated failures; retry later", key),
-			retryAfter: wait,
+			retryAfter: jitterRetryAfter(wait, retrySpread, hash),
+			closeConn:  true,
 		}
 	}
 
@@ -597,7 +662,10 @@ func (s *Server) admit(spec *JobSpec, ro *reqObs) (*Job, *admitError) {
 	s.mu.Lock()
 	if s.shutdown {
 		s.mu.Unlock()
-		return nil, &admitError{status: http.StatusServiceUnavailable, msg: "server is shutting down"}
+		// The breaker may have just granted this job the half-open
+		// probe slot; it will never run, so release the slot.
+		s.breaker.cancelProbe(breakerKeys(spec))
+		return nil, s.refuseDraining(hash)
 	}
 	j := s.registerJobLocked(spec, hash)
 	// Observability state attaches before the push: once the job is in
@@ -619,10 +687,15 @@ func (s *Server) admit(spec *JobSpec, ro *reqObs) (*Job, *admitError) {
 		if s.logger != nil {
 			s.logger.Warn("job rejected", "reason", "queue_full", "queue_capacity", s.queue.Cap())
 		}
+		// Never executed: a probe admitted past the breaker releases
+		// its half-open slot, and the Retry-After hint is jittered by
+		// spec hash so shed load doesn't come back as one wave.
+		s.breaker.cancelProbe(breakerKeys(spec))
 		return nil, &admitError{
 			status:     http.StatusTooManyRequests,
 			msg:        fmt.Sprintf("job queue is full (%d queued); retry later", s.queue.Cap()),
-			retryAfter: time.Second,
+			retryAfter: jitterRetryAfter(retryBase, retrySpread, hash),
+			closeConn:  true,
 		}
 	}
 	// Same critical section as the push: the job cannot reach a
@@ -660,6 +733,16 @@ func (s *Server) registerJobLocked(spec *JobSpec, hash string) *Job {
 // fresh ID). jadebench -spans and BenchmarkServeJob measure the
 // serving path through this.
 func (s *Server) RunSync(ctx context.Context, spec *JobSpec, traceID string) (*JobStatus, error) {
+	return s.Submit(ctx, spec, true, traceID)
+}
+
+// Submit is the in-process submission path the router's embedded
+// backends use: the general form of RunSync. sync blocks for the
+// terminal state; async returns the queued status document
+// immediately (poll it via Status). Refusals (queue backpressure,
+// open circuit, shutdown) come back as errors classifiable with
+// AdmitStatus.
+func (s *Server) Submit(ctx context.Context, spec *JobSpec, sync bool, traceID string) (*JobStatus, error) {
 	val := (*reqObs)(nil)
 	if s.obsEnabled() {
 		val = s.newReqObs(traceID, "request")
@@ -675,6 +758,12 @@ func (s *Server) RunSync(ctx context.Context, spec *JobSpec, traceID string) (*J
 	if aerr != nil {
 		return nil, aerr
 	}
+	if !sync && !isDone(j) {
+		if val != nil {
+			val.root.End()
+		}
+		return s.statusDoc(j, false), nil
+	}
 	select {
 	case <-j.done:
 	case <-ctx.Done():
@@ -684,6 +773,35 @@ func (s *Server) RunSync(ctx context.Context, spec *JobSpec, traceID string) (*J
 		val.root.End()
 	}
 	return s.statusDoc(j, true), nil
+}
+
+// Status returns the status document for a retained job ID (false for
+// unknown or evicted IDs) — the in-process mirror of GET /v1/jobs/{id}.
+func (s *Server) Status(jobID string) (*JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[jobID]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return s.statusDoc(j, true), true
+}
+
+// Healthy mirrors GET /healthz for embedded callers: false while the
+// server is draining or the SLO error budget is exhausted.
+func (s *Server) Healthy() bool {
+	s.mu.Lock()
+	draining := s.shutdown
+	s.mu.Unlock()
+	if draining {
+		return false
+	}
+	if s.slo != nil {
+		if st := s.slo.Status(); st.Exhausted {
+			return false
+		}
+	}
+	return true
 }
 
 // ---- handlers ----
@@ -721,6 +839,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if aerr != nil {
 		if aerr.retryAfter > 0 {
 			w.Header().Set("Retry-After", retryAfterSecs(aerr.retryAfter))
+		}
+		if aerr.closeConn {
+			w.Header().Set("Connection", "close")
 		}
 		writeErr(w, aerr.status, aerr.msg)
 		return
