@@ -186,3 +186,28 @@ func benchPgasSpmv(b *testing.B, aggregation bool) {
 
 func BenchmarkPgasSpMV(b *testing.B)        { benchPgasSpmv(b, false) }
 func BenchmarkPgasAggregation(b *testing.B) { benchPgasSpmv(b, true) }
+
+// The granularity study end to end: the synthetic task-size sweep
+// across both machines with fusion and coalescing in every combination
+// (ROADMAP item 2).
+func BenchmarkGranularitySweep(b *testing.B) { benchExperiment(b, "granularity-sweep") }
+
+// The task-fusion pass on the one paper app with fusable chains:
+// Cholesky work-free on the iPSC, pass off vs on. The pair bounds what
+// the fuse-then-replay path costs relative to plain replay.
+func benchFusion(b *testing.B, fusion bool) {
+	spec := experiments.RunSpec{App: "cholesky", Machine: "ipsc", WorkFree: true, Fusion: fusion}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := spec.Execute(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.TaskCount == 0 {
+			b.Fatal("empty Cholesky run")
+		}
+	}
+}
+
+func BenchmarkFusionOff(b *testing.B) { benchFusion(b, false) }
+func BenchmarkFusionOn(b *testing.B)  { benchFusion(b, true) }

@@ -42,6 +42,11 @@ if [ "${1:-}" = "bench" ]; then
         # stability without slowing the gate.
         go test -run '^$' -bench '^BenchmarkSweepGraphBatched$' \
             -benchmem -benchtime 2s .
+        # The granularity pass: the task-size sweep end to end and the
+        # fusion toggle pair (fused replay must stay close to plain
+        # replay — the pass itself is a one-time op-stream rewrite).
+        go test -run '^$' -bench '^Benchmark(GranularitySweep|Fusion(On|Off))$' \
+            -benchmem -benchtime 0.2s .
         # The serving pair backs the observability-overhead claim:
         # spans + logging + SLO tracking on (observed) must track the
         # bare serving path.
@@ -82,7 +87,7 @@ echo "== go test -race (concurrent packages) =="
 # -race here as well. The routing tier (hedged attempts racing each
 # other, health transitions under concurrent requests) and the load
 # generator's worker pool join the set.
-go test -race ./internal/native ./internal/jade ./internal/jade/graph ./internal/serve ./internal/experiments ./internal/fault ./internal/pgas ./internal/apps/spmv ./internal/router ./internal/load
+go test -race ./internal/native ./internal/jade ./internal/jade/graph ./internal/serve ./internal/experiments ./internal/fault ./internal/fuse ./internal/pgas ./internal/apps/spmv ./internal/router ./internal/load
 
 echo "== jadebench -json smoke =="
 # The emitted document must parse and carry the jadebench/v1 keys;
@@ -113,6 +118,17 @@ cmp "$gtmp/batched.txt" "$gtmp/sequential.txt" ||
 cmp "$gtmp/batched.txt" "$gtmp/direct.txt" ||
     { echo "jadebench: graph replay changed the output" >&2; rm -rf "$gtmp"; exit 1; }
 rm -rf "$gtmp"
+
+echo "== jadebench granularity smoke =="
+# The task-size sweep document must parse and carry the
+# jade-granularity/v1 keys; the semantic halves of the acceptance bar
+# (fusion on sends fewer messages at the finest size; the pass moves
+# the crossover strictly left) are pinned by the targeted tests.
+go run ./cmd/jadebench -granularity-report -scale small |
+    go run ./internal/tools/jsoncheck schema scale procs task_sizes_sec.0 \
+        cells.0.machine cells.0.msg_count cells.0.exec_time_sec \
+        crossovers.0.machine crossovers.0.crossover_work_sec
+go test -run '^TestGranularity(FinestSizeMessageCut|PassMovesCrossover)$' ./internal/experiments
 
 echo "== jaded smoke =="
 # Start the server on an ephemeral port, submit the same small sync

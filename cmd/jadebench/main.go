@@ -33,6 +33,12 @@
 // which-optimizations-transfer table — is emitted as a jade-pgas/v1
 // JSON document on stdout (see EXPERIMENTS.md for the schema).
 //
+// With -granularity-report, the granularity sweep — the synthetic
+// block-iteration workload across task sizes with the fusion and
+// coalescing knobs in every combination on ipsc and pgas — is emitted
+// as a jade-granularity/v1 JSON document on stdout (see
+// EXPERIMENTS.md for the schema).
+//
 // With -spans out.json (requires -json), the report is produced by
 // pushing the job through the in-process serving path — the same
 // admission, queue, and execution pipeline jaded runs — with span
@@ -81,6 +87,9 @@ func main() {
 		pgasReport = flag.Bool("pgas-report", false,
 			"emit the three-machine comparison (every app on dash, ipsc, and pgas) "+
 				"as a jade-pgas/v1 JSON document on stdout and exit")
+		granReport = flag.Bool("granularity-report", false,
+			"emit the granularity sweep (task size x fusion x coalescing on ipsc and pgas) "+
+				"as a jade-granularity/v1 JSON document on stdout and exit")
 	)
 	flag.Parse()
 
@@ -123,6 +132,13 @@ func main() {
 	if *machine != "" && !*jsonOut {
 		fmt.Fprintln(os.Stderr, "jadebench: -machine selects the machine for the instrumented runs of the JSON report; add -json")
 		os.Exit(2)
+	}
+	if *granReport {
+		if err := experiments.BuildGranularityReport(scale).WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *pgasReport {
 		rep, err := experiments.BuildPgasReport(scale)

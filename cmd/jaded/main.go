@@ -19,9 +19,18 @@
 //	GET  /v1/experiments     experiment catalog
 //	GET  /healthz            liveness + SLO budget (503 when exhausted)
 //	GET  /metricz            queue depth, worker utilization, cache hit
-//	                         rate, per-experiment latency p50/p95/p99
+//	                         rate, per-experiment latency p50/p95/p99,
+//	                         granularity-pass totals (tasks fused,
+//	                         messages coalesced, benefit bytes)
 //	                         (?format=prom for Prometheus text)
+//
 //	GET  /debug/pprof/...    runtime profiles (only with -pprof)
+//
+// Job specs opt into the granularity pass per run: RunSpec.Fusion
+// replays the fused task graph (work-free runs only) and
+// RunSpec.Coalescing batches same-destination fetches on the ipsc
+// machine. Both knobs are part of the canonical spec hash, so cached
+// results never cross knob settings.
 //
 // Observability: -log-level/-log-format turn on structured request
 // and job-lifecycle logs on stderr (trace-ID-correlated), -spans

@@ -26,9 +26,11 @@ func batchable(s *RunSpec) bool {
 	return s.Fault == nil || !s.Fault.Panic
 }
 
-// groupKey buckets batchable specs sharing one captured graph.
+// groupKey buckets batchable specs sharing one captured graph. Fusion
+// is part of the key: fused cells replay a different (transformed)
+// graph than unfused cells of the same app.
 func groupKey(s *RunSpec, scale Scale, place bool) string {
-	return fmt.Sprintf("%s|%s|%d|%t", s.App, scale, s.Procs, place)
+	return fmt.Sprintf("%s|%s|%d|%t|fused=%t", s.App, scale, s.Procs, place, s.Fusion)
 }
 
 // ExecuteRuns executes every spec at the given scale across the pool
@@ -95,6 +97,11 @@ func (r Runner) executeCanonical(canon []RunSpec, errs []error, scale Scale) []*
 		a := appKeys[first.App]
 		place := first.Level == LevelPlacement && a.hasPlacement
 		g := capturedGraph(a, scale, first.Procs, place)
+		var fst graph.FuseStats
+		if first.Fusion {
+			fe := fusedGraph(a, scale, first.Procs, place)
+			g, fst = fe.g, fe.st
+		}
 		vars := make([]graph.Variant, len(idxs))
 		for k, i := range idxs {
 			s := &canon[i]
@@ -108,6 +115,12 @@ func (r Runner) executeCanonical(canon []RunSpec, errs []error, scale Scale) []*
 			}
 		}
 		for k, vr := range graph.NewVariantSet(g, vars).Run() {
+			if vr.Run != nil {
+				if first.Fusion {
+					stampFusion(vr.Run, canon[idxs[k]].Machine, fst)
+				}
+				accumulateFuse(vr.Run)
+			}
 			runs[idxs[k]], errs[idxs[k]] = vr.Run, vr.Err
 		}
 	})

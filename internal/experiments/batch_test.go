@@ -26,6 +26,15 @@ func batchIdentitySpecs() []RunSpec {
 			WorkFree: true, Aggregation: &off},
 		RunSpec{App: "water", Machine: "ipsc", Procs: 8, Level: LevelLocality,
 			WorkFree: true, Fault: &fault.Spec{Seed: 42, DropPct: 0.1}},
+		// Granularity-pass cells: a fused run (its group replays the
+		// fused graph), a coalescing run, and both knobs together —
+		// each next to its knobs-off sibling above.
+		RunSpec{App: "cholesky", Machine: "ipsc", Procs: 8, Level: LevelLocality,
+			WorkFree: true, Fusion: true},
+		RunSpec{App: "spmv", Machine: "ipsc", Procs: 8, Level: LevelLocality,
+			WorkFree: true, Coalescing: true},
+		RunSpec{App: "cholesky", Machine: "ipsc", Procs: 8, Level: LevelLocality,
+			WorkFree: true, Fusion: true, Coalescing: true},
 	)
 	return specs
 }

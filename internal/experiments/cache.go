@@ -5,9 +5,12 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fuse"
+	"repro/internal/ipsc"
 	"repro/internal/jade"
 	"repro/internal/jade/graph"
 	"repro/internal/metrics"
+	"repro/internal/pgas"
 )
 
 // This file is the one caching mechanism behind the experiment
@@ -184,6 +187,88 @@ func capturedGraph(a *appSpec, scale Scale, procs int, place bool) *graph.Graph 
 	return sharedCache.get(key, func() any {
 		return graph.Capture(procs, true, func(rt *jade.Runtime) { a.run(rt, scale, place) })
 	}).(*graph.Graph)
+}
+
+// fusedEntry pairs a fused graph with what fusing it accomplished, so
+// replays can stamp the pass's counters onto their runs.
+type fusedEntry struct {
+	g  *graph.Graph
+	st graph.FuseStats
+}
+
+// fusedGraph returns the task-fusion pass's output for one captured
+// graph, cached alongside the unfused capture under a /fused=true key.
+func fusedGraph(a *appSpec, scale Scale, procs int, place bool) fusedEntry {
+	key := fmt.Sprintf("graph/%s/%s/place=%t/procs=%d/fused=true", a.key, scale, place, procs)
+	return sharedCache.get(key, func() any {
+		g, st, err := capturedGraph(a, scale, procs, place).Fuse(fuse.DefaultOptions())
+		if err != nil {
+			// Work-free captures carry no task bodies, so they are
+			// always fusable; refusing one is a pass bug.
+			panic(err)
+		}
+		return fusedEntry{g: g, st: st}
+	}).(fusedEntry)
+}
+
+// fusionBenefitPerTask prices the task-management messages one fused
+// (eliminated) task avoids on the named machine: its task-assignment
+// message plus its completion notice. The shared-memory machines pay
+// no task messages, so the benefit there is zero.
+func fusionBenefitPerTask(machine string) int64 {
+	switch machine {
+	case "ipsc":
+		c := ipsc.DefaultConfig(1, ipsc.Locality)
+		return int64(c.TaskMsgBytes + c.CompletionBytes)
+	case "pgas":
+		c := pgas.DefaultConfig(1, pgas.Affinity)
+		return int64(c.TaskMsgBytes + c.CompletionBytes)
+	}
+	return 0
+}
+
+// stampFusion records the fusion pass's effect on a replayed run.
+func stampFusion(r *metrics.Run, machine string, st graph.FuseStats) {
+	r.TasksFused = int64(st.TasksFused)
+	r.FusionBenefitBytes = int64(st.TasksFused) * fusionBenefitPerTask(machine)
+}
+
+// accumulateFuse folds a finished run's granularity counters into the
+// process-wide totals surfaced on /metricz and /metrics.
+func accumulateFuse(r *metrics.Run) {
+	if r == nil {
+		return
+	}
+	if r.TasksFused > 0 {
+		fuse.AddTasksFused(uint64(r.TasksFused))
+	}
+	if r.MsgsCoalesced > 0 {
+		fuse.AddMsgsCoalesced(uint64(r.MsgsCoalesced))
+	}
+	if r.FusionBenefitBytes > 0 {
+		fuse.AddFusionBenefitBytes(uint64(r.FusionBenefitBytes))
+	}
+}
+
+// runAppFused replays the fused task graph against the platform. The
+// fusion pass operates on the captured op stream, so — unlike runApp —
+// it replays regardless of the graph-cache toggle: there is no direct
+// path that could express the fused program.
+func runAppFused(p jade.Platform, cfg jade.Config, machine string, a *appSpec, scale Scale, place bool) *metrics.Run {
+	fe := fusedGraph(a, scale, p.Processors(), place)
+	var r *metrics.Run
+	var err error
+	if BatchReplayEnabled() {
+		r, err = fe.g.ReplayPlanned(p, cfg)
+	} else {
+		r, err = fe.g.Replay(p, cfg)
+	}
+	if err != nil {
+		// Fused work-free graphs always replay onto a fresh platform.
+		panic(err)
+	}
+	stampFusion(r, machine, fe.st)
+	return r
 }
 
 // runApp executes one application run against the platform. Work-free

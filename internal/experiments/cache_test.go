@@ -130,6 +130,55 @@ func TestDefaultRunSpecsByteIdenticalWithCache(t *testing.T) {
 	}
 }
 
+// withBatchReplay runs f with the batched-replay path forced on or
+// off, restoring the default afterwards.
+func withBatchReplay(on bool, f func()) {
+	prev := BatchReplayEnabled()
+	SetBatchReplay(on)
+	defer SetBatchReplay(prev)
+	f()
+}
+
+// TestDefaultRunSpecsByteIdenticalAcrossReplayPaths pins the
+// granularity knobs' off position: with Fusion and Coalescing unset
+// (the DefaultRunSpecs shape), all three execution paths — direct
+// front-end builds, sequential graph replay, and batched VariantSet
+// replay — must produce the byte-identical jadebench document. The
+// knobs default off, so adding the pass cannot perturb any existing
+// result.
+func TestDefaultRunSpecsByteIdenticalAcrossReplayPaths(t *testing.T) {
+	specs := DefaultRunSpecs()
+	for _, s := range DefaultRunSpecs() {
+		s.WorkFree = true
+		specs = append(specs, s)
+	}
+	build := func() []byte {
+		rep, err := BuildReportWithRuns(nil, specs, Small)
+		if err != nil {
+			t.Fatalf("BuildReportWithRuns: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+	var direct, sequential, batched []byte
+	withBatchReplay(false, func() {
+		withGraphCache(false, func() { direct = build() })
+		withGraphCache(true, func() { sequential = build() })
+	})
+	withBatchReplay(true, func() {
+		withGraphCache(true, func() { batched = build() })
+	})
+	if !bytes.Equal(direct, sequential) {
+		t.Error("sequential graph replay differs from direct execution")
+	}
+	if !bytes.Equal(direct, batched) {
+		t.Error("batched VariantSet replay differs from direct execution")
+	}
+}
+
 // The front-end must be built once per (app, scale, place, procs), no
 // matter how many sweep cells or goroutines ask for it.
 func TestGraphCacheFillOnce(t *testing.T) {

@@ -144,6 +144,49 @@ func TestDeliveryAttemptsSurfaced(t *testing.T) {
 	}
 }
 
+// A coalesced batch travels as one message, so fault injection must
+// treat it as one unit: a pinned seed reproduces the run byte for byte,
+// a drop loses the whole batch, and the retransmit protocol resends all
+// of it — batches never fragment into per-object messages under loss.
+func TestFaultedCoalescingDeterministicWholeBatch(t *testing.T) {
+	coal := RunSpec{App: "spmv", Machine: "ipsc", Procs: 8, Level: LevelLocality,
+		Coalescing: true, Fault: &fault.Spec{Seed: 42, DropPct: 0.15}}
+	if a, b := reportJSON(t, coal), reportJSON(t, coal); !bytes.Equal(a, b) {
+		t.Fatal("two faulted coalescing runs with one seed differ")
+	}
+
+	faulted, err := coal.Execute(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.MsgDropped == 0 {
+		t.Fatal("15% drop rate lost nothing")
+	}
+	// Every lost transmission is answered by exactly one retransmission
+	// of the same (whole) payload.
+	if faulted.MsgDropped != faulted.MsgRetransmits {
+		t.Errorf("dropped=%d retransmits=%d: lost batches not resent one-for-one",
+			faulted.MsgDropped, faulted.MsgRetransmits)
+	}
+	// Batches survive loss intact: fragmentation into per-object
+	// messages would zero the coalescing counter.
+	if faulted.MsgsCoalesced == 0 {
+		t.Fatal("faulted SpMV run coalesced nothing: batches fragmented under loss")
+	}
+	// And coalescing still wins under the identical fault spec: fewer
+	// messages than the uncoalesced faulted run.
+	uncoal := coal
+	uncoal.Coalescing = false
+	ur, err := uncoal.Execute(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.MsgCount >= ur.MsgCount {
+		t.Errorf("coalesced faulted run sent %d msgs, uncoalesced sent %d: no win under loss",
+			faulted.MsgCount, ur.MsgCount)
+	}
+}
+
 // The panic chaos hook fires before any machine is built.
 func TestFaultPanicHook(t *testing.T) {
 	s := RunSpec{App: "water", Machine: "ipsc", Fault: &fault.Spec{Seed: 1, Panic: true}}
@@ -165,7 +208,7 @@ func TestFaultSweepRegistered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 3 || len(res.Head) != len(faultDropRates)+1 {
+	if len(res.Rows) != 5 || len(res.Head) != len(faultDropRates)+1 {
 		t.Errorf("unexpected sweep shape: %d rows, %d cols", len(res.Rows), len(res.Head))
 	}
 	var sb strings.Builder

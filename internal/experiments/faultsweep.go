@@ -71,6 +71,31 @@ func faultSweep(scale Scale) *Result {
 			with:    func(d float64) RunSpec { return faultIPSC("ocean", LevelLocality, d, nil) },
 			without: func(d float64) RunSpec { return faultIPSC("ocean", LevelNone, d, nil) },
 		},
+		// The granularity knobs under loss. SpMV is the one app whose
+		// tasks gather several remote objects per communication point,
+		// so it is where coalescing has batches to build — and where a
+		// dropped coalesced message loses a whole batch that the
+		// retransmit protocol then resends whole.
+		{
+			name: "message coalescing (SpMV)",
+			with: func(d float64) RunSpec {
+				return faultIPSC("spmv", LevelLocality, d, func(s *RunSpec) { s.Coalescing = true })
+			},
+			without: func(d float64) RunSpec { return faultIPSC("spmv", LevelLocality, d, nil) },
+		},
+		// Cholesky is the one paper app with serially dependent
+		// consecutive task chains for fusion to collapse. Fusion needs a
+		// replayable graph, so its pair runs stripped (work-free): the
+		// benefit measured is pure management and communication time.
+		{
+			name: "task fusion (Cholesky, stripped)",
+			with: func(d float64) RunSpec {
+				return faultIPSC("cholesky", LevelLocality, d, func(s *RunSpec) { s.WorkFree = true; s.Fusion = true })
+			},
+			without: func(d float64) RunSpec {
+				return faultIPSC("cholesky", LevelLocality, d, func(s *RunSpec) { s.WorkFree = true })
+			},
+		},
 	}
 
 	type cell struct {

@@ -59,6 +59,19 @@ type RunSpec struct {
 	// machine's default (on); pgas-only.
 	Aggregation *bool `json:"aggregation,omitempty"`
 
+	// Fusion enables the task-fusion half of the granularity pass:
+	// chains of tiny tasks with identical-or-nested access specs in
+	// the captured task graph collapse into single scheduled units
+	// before replay (internal/fuse defaults). Requires work_free —
+	// task bodies make a graph non-replayable, and fusion is a graph
+	// rewrite. Off by default; the paper has no equivalent pass.
+	Fusion bool `json:"fusion,omitempty"`
+	// Coalescing batches a task's same-owner object fetches on the
+	// iPSC machine into one request/reply message pair (the other
+	// half of the granularity pass); ipsc-only — the pgas machine's
+	// equivalent knob is aggregation. Off by default.
+	Coalescing bool `json:"coalescing,omitempty"`
+
 	// Fault, when present, injects deterministic faults into the run
 	// (jade-fault/v1): message loss and link degradation on the iPSC
 	// model, victim-cluster latency and invalidation storms on DASH.
@@ -173,6 +186,13 @@ func (s *RunSpec) Canonicalize() error {
 	if s.Machine != "pgas" && s.Aggregation != nil {
 		return fmt.Errorf("run spec: aggregation applies only to the pgas machine (got %q)", s.Machine)
 	}
+	if s.Fusion && !s.WorkFree {
+		return fmt.Errorf("run spec: fusion requires work_free (task bodies make the graph non-replayable)")
+	}
+	if s.Coalescing && s.Machine != "ipsc" {
+		return fmt.Errorf("run spec: coalescing applies only to the ipsc machine (got %q); "+
+			"the pgas equivalent is aggregation", s.Machine)
+	}
 	if s.Fault != nil {
 		if err := s.Fault.Canonicalize(); err != nil {
 			return fmt.Errorf("run spec: %w", err)
@@ -251,6 +271,7 @@ func (s *RunSpec) newPlatform() jade.Platform {
 		}
 		cfg.EagerUpdate = s.EagerUpdate
 		cfg.StickyTarget = s.StickyTarget
+		cfg.Coalescing = s.Coalescing
 		if s.TargetTasks > 0 {
 			cfg.TargetTasks = s.TargetTasks
 		}
@@ -297,7 +318,15 @@ func (s RunSpec) Execute(scale Scale) (*metrics.Run, error) {
 		// execution to panic, exercising per-job panic isolation.
 		panic(fmt.Sprintf("fault: injected panic (app=%s machine=%s)", s.App, s.Machine))
 	}
-	return runApp(s.newPlatform(), jade.Config{WorkFree: s.WorkFree}, a, scale, place), nil
+	cfg := jade.Config{WorkFree: s.WorkFree}
+	var r *metrics.Run
+	if s.Fusion {
+		r = runAppFused(s.newPlatform(), cfg, s.Machine, a, scale, place)
+	} else {
+		r = runApp(s.newPlatform(), cfg, a, scale, place)
+	}
+	accumulateFuse(r)
+	return r, nil
 }
 
 // Instrumented executes the spec and wraps the result in the

@@ -59,6 +59,9 @@ func TestRunSpecRejectsInvalid(t *testing.T) {
 		{"ipsc toggle on dash", RunSpec{App: "water", Machine: "dash", EagerUpdate: true}, "only to the ipsc"},
 		{"cluster level", RunSpec{App: "water", Machine: "cluster", Level: "locality"}, "no locality levels"},
 		{"speed_aware on ipsc", RunSpec{App: "water", Machine: "ipsc", SpeedAware: true}, "only to the cluster"},
+		{"fusion without work_free", RunSpec{App: "water", Machine: "ipsc", Fusion: true}, "requires work_free"},
+		{"coalescing on dash", RunSpec{App: "water", Machine: "dash", Coalescing: true}, "only to the ipsc"},
+		{"coalescing on cluster", RunSpec{App: "water", Machine: "cluster", Coalescing: true}, "only to the ipsc"},
 	}
 	for _, tc := range cases {
 		err := tc.spec.Canonicalize()
@@ -69,6 +72,34 @@ func TestRunSpecRejectsInvalid(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+// TestGranularityKnobsCanonicalBytesDistinct proves the granularity
+// knobs are part of the cache identity: specs differing only in Fusion
+// or Coalescing must canonicalize to distinct bytes, or jaded's result
+// cache would serve an optimized run for an unoptimized spec (and vice
+// versa).
+func TestGranularityKnobsCanonicalBytesDistinct(t *testing.T) {
+	specs := []RunSpec{
+		{App: "water", Machine: "ipsc", WorkFree: true},
+		{App: "water", Machine: "ipsc", WorkFree: true, Fusion: true},
+		{App: "water", Machine: "ipsc", WorkFree: true, Coalescing: true},
+		{App: "water", Machine: "ipsc", WorkFree: true, Fusion: true, Coalescing: true},
+	}
+	seen := map[string]RunSpec{}
+	for _, s := range specs {
+		if err := s.Canonicalize(); err != nil {
+			t.Fatalf("Canonicalize %+v: %v", s, err)
+		}
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[string(b)]; dup {
+			t.Fatalf("specs %+v and %+v share canonical bytes %s", prev, s, b)
+		}
+		seen[string(b)] = s
 	}
 }
 

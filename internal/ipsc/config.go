@@ -106,6 +106,14 @@ type Config struct {
 	// (Water, String) and degraded others by generating excessive
 	// communication.
 	EagerUpdate bool
+	// Coalescing batches a task's same-owner object fetches into one
+	// request/reply pair paying a single header cost (the granularity
+	// pass's message-coalescing half; the paper has no equivalent).
+	// Serial-phase fetches in MainTouches stay uncoalesced: they are
+	// synchronous, one-at-a-time touches by the main program, so there
+	// is never a batch to form. Off by default — the paper's runs
+	// never coalesce.
+	Coalescing bool
 }
 
 // DefaultConfig returns the iPSC/860 model at the given processor

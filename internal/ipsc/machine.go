@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"repro/internal/fault"
+	"repro/internal/fuse"
 	"repro/internal/jade"
 	"repro/internal/metrics"
 	"repro/internal/obsv"
@@ -552,23 +553,29 @@ func (m *Machine) taskArrived(ts *taskState) {
 		m.ready(ts)
 		return
 	}
-	ts.needed = len(toFetch)
+	// With coalescing on, same-owner fetches share one request/reply
+	// pair; off, every batch is a singleton and the path below is the
+	// classic per-object protocol.
+	batches := fuse.GroupByDest(toFetch, func(a jade.Access) int {
+		return m.objs[a.Obj.ID].owner
+	}, m.cfg.Coalescing)
+	ts.needed = len(batches)
 	ts.firstReq = m.eng.Now()
 	if m.Trace.Enabled() {
 		m.Trace.Add(float64(m.eng.Now()), trace.FetchStart, int(ts.t.ID), p,
 			fmt.Sprintf("%d objects", len(toFetch)))
 	}
 	if m.cfg.ConcurrentFetch {
-		for _, a := range toFetch {
-			m.fetch(ts, a)
+		for _, b := range batches {
+			m.fetchBatch(ts, b, nil)
 		}
 	} else {
 		// Serial fetch chain: issue each request only after the
-		// previous object arrives.
+		// previous object (batch) arrives.
 		var next func(i int)
 		next = func(i int) {
-			m.fetchThen(ts, toFetch[i], func() {
-				if i+1 < len(toFetch) {
+			m.fetchBatch(ts, batches[i], func() {
+				if i+1 < len(batches) {
 					next(i + 1)
 				}
 			})
@@ -577,35 +584,46 @@ func (m *Machine) taskArrived(ts *taskState) {
 	}
 }
 
-// fetch issues one object request and delivers the object; when the
-// task's last object arrives the task becomes ready.
-func (m *Machine) fetch(ts *taskState, a jade.Access) {
-	m.fetchThen(ts, a, nil)
-}
-
-func (m *Machine) fetchThen(ts *taskState, a jade.Access, then func()) {
+// fetchBatch issues one request/reply pair for a batch of same-owner
+// accesses; when the task's last batch arrives the task becomes ready.
+// Every batch is a singleton unless coalescing grouped them, so the
+// uncoalesced machine takes exactly the pre-coalescing path. A batch
+// travels as one message: under fault injection a drop loses the whole
+// batch and the retransmit protocol resends all of it (send retries
+// the full payload).
+func (m *Machine) fetchBatch(ts *taskState, batch []jade.Access, then func()) {
 	p := ts.proc
-	o := a.Obj
-	st := m.objs[o.ID]
-	owner := st.owner
+	owner := m.objs[batch[0].Obj.ID].owner
 	issued := m.eng.Now()
 	ts.reqCount++
+	size := 0
+	for _, a := range batch {
+		size += a.Obj.Size
+	}
 
-	// Request message: p → owner.
+	// Request message: p → owner (one per batch).
 	m.send(issued, p, owner, m.cfg.RequestBytes, func() {
-		m.noteAccess(o.ID, a.RequiredVersion, p)
-		// Reply: owner → p, carrying the object.
-		m.send(m.eng.Now(), owner, p, o.Size, func() {
-			m.nodes[p].store[o.ID] = a.RequiredVersion
-			m.stats.MsgBytes += int64(o.Size)
-			m.stats.MsgCount++
-			if owner != p {
-				m.stats.ReplicatedReads++
+		for _, a := range batch {
+			m.noteAccess(a.Obj.ID, a.RequiredVersion, p)
+		}
+		// Reply: owner → p, carrying the batch's objects behind one
+		// message header.
+		m.send(m.eng.Now(), owner, p, size, func() {
+			now := m.eng.Now()
+			for _, a := range batch {
+				o := a.Obj
+				m.nodes[p].store[o.ID] = a.RequiredVersion
+				m.stats.MsgBytes += int64(o.Size)
+				if owner != p {
+					m.stats.ReplicatedReads++
+				}
+				m.stats.ObjectLatency += float64(now - issued)
+				m.Obs.ObjectFetch(int(o.ID), o.Name, o.Size, float64(now-issued), owner != p)
 			}
-			m.stats.ObjectLatency += float64(m.eng.Now() - issued)
-			m.Obs.ObjectFetch(int(o.ID), o.Name, o.Size, float64(m.eng.Now()-issued), owner != p)
-			if m.eng.Now() > ts.lastArrive {
-				ts.lastArrive = m.eng.Now()
+			m.stats.MsgCount++
+			m.stats.MsgsCoalesced += int64(len(batch) - 1)
+			if now > ts.lastArrive {
+				ts.lastArrive = now
 			}
 			ts.needed--
 			if then != nil {
@@ -617,7 +635,7 @@ func (m *Machine) fetchThen(ts *taskState, a jade.Access, then func()) {
 					m.Obs.TaskWait(float64(ts.lastArrive - ts.firstReq))
 					m.Obs.Span(p, obsv.StateFetch, float64(ts.firstReq), float64(ts.lastArrive))
 				}
-				m.traceEvent(float64(m.eng.Now()), trace.FetchEnd, int(ts.t.ID), p, "")
+				m.traceEvent(float64(now), trace.FetchEnd, int(ts.t.ID), p, "")
 				m.ready(ts)
 			}
 		})

@@ -74,6 +74,16 @@ type Run struct {
 	AggregatedMsgs  int64
 	AggBenefitBytes int64
 
+	// Granularity-pass accounting (internal/fuse); all zero when both
+	// knobs are off. TasksFused counts tasks eliminated by fusing
+	// chains into single scheduled units, MsgsCoalesced messages
+	// eliminated by batching same-destination fetches, and
+	// FusionBenefitBytes the task-management message bytes (task
+	// message + completion notice per eliminated task) fusion avoided.
+	TasksFused         int64
+	MsgsCoalesced      int64
+	FusionBenefitBytes int64
+
 	// RemoteBytes counts bytes satisfied from remote memory on the
 	// shared-memory model (and, on the PGAS model, bytes moved by
 	// remote gets).

@@ -34,20 +34,26 @@ type Report struct {
 	FaultInvalidations int64 `json:"fault_invalidations,omitempty"`
 	// The PGAS counters are likewise omitted when zero, so dash/ipsc/
 	// cluster reports are byte-identical to pre-PGAS output.
-	RemoteGets       int64          `json:"remote_gets,omitempty"`
-	RemotePuts       int64          `json:"remote_puts,omitempty"`
-	AggregatedMsgs   int64          `json:"aggregated_msgs,omitempty"`
-	AggBenefitBytes  int64          `json:"agg_benefit_bytes,omitempty"`
-	ObjectLatencySec float64        `json:"object_latency_sec"`
-	TaskLatencySec   float64        `json:"task_latency_sec"`
-	TaskMgmtSec      float64        `json:"task_mgmt_sec"`
-	RemoteBytes      int64          `json:"remote_bytes"`
-	LocalBytes       int64          `json:"local_bytes"`
-	ProcBusySec      []float64      `json:"proc_busy_sec"`
-	Utilization      []float64      `json:"utilization"`
-	OverBusy         []int          `json:"over_busy,omitempty"`
-	CommCompMBPerSec float64        `json:"comm_comp_mb_per_sec"`
-	Observability    *obsv.Snapshot `json:"observability,omitempty"`
+	RemoteGets      int64 `json:"remote_gets,omitempty"`
+	RemotePuts      int64 `json:"remote_puts,omitempty"`
+	AggregatedMsgs  int64 `json:"aggregated_msgs,omitempty"`
+	AggBenefitBytes int64 `json:"agg_benefit_bytes,omitempty"`
+	// The granularity-pass counters are omitted when zero, so runs
+	// with fusion and coalescing off stay byte-identical to earlier
+	// output.
+	TasksFused         int64          `json:"tasks_fused,omitempty"`
+	MsgsCoalesced      int64          `json:"msgs_coalesced,omitempty"`
+	FusionBenefitBytes int64          `json:"fusion_benefit_bytes,omitempty"`
+	ObjectLatencySec   float64        `json:"object_latency_sec"`
+	TaskLatencySec     float64        `json:"task_latency_sec"`
+	TaskMgmtSec        float64        `json:"task_mgmt_sec"`
+	RemoteBytes        int64          `json:"remote_bytes"`
+	LocalBytes         int64          `json:"local_bytes"`
+	ProcBusySec        []float64      `json:"proc_busy_sec"`
+	Utilization        []float64      `json:"utilization"`
+	OverBusy           []int          `json:"over_busy,omitempty"`
+	CommCompMBPerSec   float64        `json:"comm_comp_mb_per_sec"`
+	Observability      *obsv.Snapshot `json:"observability,omitempty"`
 }
 
 // Report converts the run into its stable machine-readable form.
@@ -72,6 +78,9 @@ func (r *Run) Report() *Report {
 		RemotePuts:         r.RemotePuts,
 		AggregatedMsgs:     r.AggregatedMsgs,
 		AggBenefitBytes:    r.AggBenefitBytes,
+		TasksFused:         r.TasksFused,
+		MsgsCoalesced:      r.MsgsCoalesced,
+		FusionBenefitBytes: r.FusionBenefitBytes,
 		ObjectLatencySec:   r.ObjectLatency,
 		TaskLatencySec:     r.TaskLatency,
 		TaskMgmtSec:        r.TaskMgmtTime,

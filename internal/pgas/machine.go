@@ -2,6 +2,7 @@ package pgas
 
 import (
 	"repro/internal/fault"
+	"repro/internal/fuse"
 	"repro/internal/jade"
 	"repro/internal/metrics"
 	"repro/internal/obsv"
@@ -554,28 +555,11 @@ func (m *Machine) drainPool(p int) {
 func accessHome(a jade.Access) int { return a.Obj.Home }
 func wbHome(it wbItem) int         { return it.o.Home }
 
-// groupByHome partitions items into per-home batches, preserving the
-// first-appearance order of homes (deterministic — no map iteration).
-// With aggregation off every item is its own singleton batch.
+// groupByHome partitions items into per-home batches via the shared
+// destination coalescer (the same mechanism the iPSC model batches
+// same-owner fetches with), preserving the first-appearance order of
+// homes (deterministic — no map iteration). With aggregation off every
+// item is its own singleton batch.
 func groupByHome[T any](items []T, home func(T) int, aggregate bool) [][]T {
-	if !aggregate {
-		out := make([][]T, len(items))
-		for i := range items {
-			out[i] = items[i : i+1 : i+1]
-		}
-		return out
-	}
-	var out [][]T
-outer:
-	for _, it := range items {
-		h := home(it)
-		for i := range out {
-			if home(out[i][0]) == h {
-				out[i] = append(out[i], it)
-				continue outer
-			}
-		}
-		out = append(out, []T{it})
-	}
-	return out
+	return fuse.GroupByDest(items, home, aggregate)
 }

@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"repro/internal/experiments"
+	"repro/internal/fuse"
 	"repro/internal/obsv"
 	"repro/internal/svcobs"
 )
@@ -114,6 +115,10 @@ type Metrics struct {
 	// graphs instead of rebuilding front-ends (see
 	// experiments.GraphCacheStats).
 	GraphCache experiments.CacheStats `json:"graph_cache"`
+	// Fuse reports the process-wide granularity-pass totals: tasks
+	// eliminated by fusion, messages eliminated by coalescing, and the
+	// task-management bytes fusion avoided (see fuse.Snapshot).
+	Fuse fuse.Counters `json:"fuse"`
 	// ExperimentLatency reports wall-clock job execution latency
 	// (seconds) per experiment ID, plus the "_job" aggregate over all
 	// executed jobs. Cache hits are excluded — they measure the

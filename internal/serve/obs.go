@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fuse"
 	"repro/internal/obsv"
 	"repro/internal/svcobs"
 )
@@ -220,6 +221,7 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 	s.mu.Unlock()
 	hits, misses := s.cache.Stats()
 	gc := experiments.GraphCacheStats()
+	fz := fuse.Snapshot()
 
 	w.Header().Set("Content-Type", promContentType)
 	p := svcobs.NewPromWriter(w)
@@ -235,6 +237,9 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 	p.Counter("jaded_result_cache_misses_total", "Result cache misses.", float64(misses))
 	p.Counter("jaded_graph_cache_hits_total", "Task-graph cache hits.", float64(gc.Hits))
 	p.Counter("jaded_graph_cache_misses_total", "Task-graph cache misses.", float64(gc.Misses))
+	p.Counter("jaded_tasks_fused_total", "Tasks eliminated by the fusion pass.", float64(fz.TasksFused))
+	p.Counter("jaded_msgs_coalesced_total", "Messages eliminated by coalescing same-destination fetches.", float64(fz.MsgsCoalesced))
+	p.Counter("jaded_fusion_benefit_bytes_total", "Task-management message bytes avoided by fusion.", float64(fz.FusionBenefitBytes))
 
 	p.Gauge("jaded_uptime_seconds", "Process uptime.", time.Since(s.start).Seconds())
 	p.Gauge("jaded_queue_depth", "Jobs waiting in the queue.", float64(s.queue.Len()))

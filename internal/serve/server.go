@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fuse"
 	"repro/internal/obsv"
 	"repro/internal/svcobs"
 )
@@ -987,6 +988,7 @@ func (s *Server) metricsDoc() Metrics {
 		CacheHits:          hits,
 		CacheMisses:        misses,
 		GraphCache:         experiments.GraphCacheStats(),
+		Fuse:               fuse.Snapshot(),
 		ExperimentLatency:  make(map[string]obsv.LatencySummary, len(s.latency)),
 	}
 	if hits+misses > 0 {

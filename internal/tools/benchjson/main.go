@@ -10,10 +10,10 @@
 //	              -baseline BENCH_baseline.json -tolerance 0.20
 //
 // With -baseline, every benchmark present in both documents is
-// compared by ns/op and by allocs/op; any new value more than
-// tolerance above the baseline is a regression and the exit status is
-// 1 (after the output file is still written, so the failing numbers
-// are inspectable). A per-benchmark delta table is always printed to
+// compared by ns/op, by bytes/op, and by allocs/op; any new value more
+// than tolerance above the baseline is a regression and the exit
+// status is 1 (after the output file is still written, so the failing
+// numbers are inspectable). A per-benchmark delta table is always printed to
 // stderr so improvements are as visible as regressions.
 // See EXPERIMENTS.md for the jade-bench/v1 schema.
 package main
@@ -60,7 +60,7 @@ func main() {
 		commit    = flag.String("commit", "", "commit hash recorded in the document")
 		out       = flag.String("o", "", "output file (default stdout)")
 		baseline  = flag.String("baseline", "", "baseline jade-bench/v1 file to compare against")
-		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op and allocs/op regression vs the baseline")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op, bytes/op, and allocs/op regression vs the baseline")
 	)
 	flag.Parse()
 
@@ -201,10 +201,11 @@ func parse(r interface{ Read([]byte) (int, error) }) (*Report, error) {
 // documents. New benchmarks (current only) are not regressions but are
 // reported as added, and missing ones as missing, so neither a
 // renamed, deleted, nor brand-new benchmark can silently sit outside
-// the gate. An allocs/op gate only applies when the baseline recorded
-// a nonzero count: a zero-alloc baseline would turn any single
-// allocation into an infinite regression, and benchmarks recorded
-// without -benchmem report zero without meaning it.
+// the gate. The bytes/op and allocs/op gates only apply when the
+// baseline recorded a nonzero count: a zero baseline would turn any
+// single byte or allocation into an infinite regression, and
+// benchmarks recorded without -benchmem report zero without meaning
+// it.
 func compare(baselinePath string, cur *Report, tolerance float64) (regressions, missing, added, deltas []string, err error) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -244,6 +245,11 @@ func compare(baselinePath string, cur *Report, tolerance float64) (regressions, 
 		}
 		d := fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)",
 			key(b), old.NsPerOp, b.NsPerOp, 100*(b.NsPerOp/old.NsPerOp-1))
+		if old.BytesPerOp > 0 {
+			d += fmt.Sprintf(", %.0f -> %.0f B/op (%+.1f%%)",
+				old.BytesPerOp, b.BytesPerOp,
+				100*(b.BytesPerOp/old.BytesPerOp-1))
+		}
 		if old.AllocsPerOp > 0 {
 			d += fmt.Sprintf(", %d -> %d allocs/op (%+.1f%%)",
 				old.AllocsPerOp, b.AllocsPerOp,
@@ -254,6 +260,12 @@ func compare(baselinePath string, cur *Report, tolerance float64) (regressions, 
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%)",
 				key(b), b.NsPerOp, old.NsPerOp, 100*(b.NsPerOp/old.NsPerOp-1)))
+		}
+		if old.BytesPerOp > 0 && b.BytesPerOp > old.BytesPerOp*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f B/op vs baseline %.0f B/op (%+.1f%%)",
+				key(b), b.BytesPerOp, old.BytesPerOp,
+				100*(b.BytesPerOp/old.BytesPerOp-1)))
 		}
 		if old.AllocsPerOp > 0 && float64(b.AllocsPerOp) > float64(old.AllocsPerOp)*(1+tolerance) {
 			regressions = append(regressions, fmt.Sprintf(

@@ -203,6 +203,45 @@ func TestCompareGatesAllocsPerOp(t *testing.T) {
 	}
 }
 
+func TestCompareGatesBytesPerOp(t *testing.T) {
+	baseline := writeBaseline(t, `{
+	  "schema": "jade-bench/v1",
+	  "benchmarks": [
+	    {"name": "Sweep", "package": "repro", "iterations": 1, "ns_per_op": 100, "bytes_per_op": 4000},
+	    {"name": "ZeroBase", "package": "repro", "iterations": 1, "ns_per_op": 100}
+	  ]
+	}`)
+	cur := &Report{Schema: Schema, Benchmarks: []Benchmark{
+		{Name: "Sweep", Package: "repro", NsPerOp: 100, BytesPerOp: 6000},     // +50% bytes: regression
+		{Name: "ZeroBase", Package: "repro", NsPerOp: 100, BytesPerOp: 12345}, // zero-byte baseline: ungated
+	}}
+	regressions, _, _, deltas, err := compare(baseline, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "B/op") ||
+		!strings.Contains(regressions[0], "repro.Sweep") {
+		t.Fatalf("regressions = %v, want one B/op regression for repro.Sweep", regressions)
+	}
+	var sweepDelta string
+	for _, d := range deltas {
+		if strings.HasPrefix(d, "repro.Sweep:") {
+			sweepDelta = d
+		}
+	}
+	if !strings.Contains(sweepDelta, "4000 -> 6000 B/op") {
+		t.Fatalf("Sweep delta = %q, want a B/op column", sweepDelta)
+	}
+	cur.Benchmarks[0].BytesPerOp = 4400 // +10%: inside tolerance
+	regressions, _, _, _, err = compare(baseline, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none inside tolerance", regressions)
+	}
+}
+
 func TestCompareEmitsSortedDeltaTable(t *testing.T) {
 	baseline := writeBaseline(t, `{
 	  "schema": "jade-bench/v1",
